@@ -1,0 +1,36 @@
+"""Section 5.5 ablation — skewing vs. strong hash functions.
+
+Checks the paper's finding: at a sensible provisioning factor the cheap
+skewing functions match the strong hash functions (no measurable benefit),
+while severely under-provisioned designs misbehave for both.
+"""
+
+from repro.experiments import ablation_hash_functions
+
+
+def test_hash_function_ablation(benchmark, bench_scale, bench_measure):
+    results = benchmark.pedantic(
+        ablation_hash_functions.run,
+        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(ablation_hash_functions.format_table(results))
+
+    well_skew = results["1x/skewing"]
+    well_strong = results["1x/strong"]
+    under_skew = results["0.5x/skewing"]
+    under_strong = results["0.5x/strong"]
+
+    # At 1x provisioning neither family forces invalidations and the attempt
+    # counts are close — the strong functions buy essentially nothing.
+    assert well_skew.forced_invalidation_rate < 0.002
+    assert well_strong.forced_invalidation_rate < 0.002
+    assert abs(
+        well_skew.average_insertion_attempts - well_strong.average_insertion_attempts
+    ) < 0.5
+
+    # Under-provisioning degrades both families badly relative to 1x.
+    assert under_skew.average_insertion_attempts > well_skew.average_insertion_attempts
+    assert under_strong.average_insertion_attempts > well_strong.average_insertion_attempts

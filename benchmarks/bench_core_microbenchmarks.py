@@ -1,0 +1,60 @@
+"""Microbenchmarks of the core data structures.
+
+These are conventional pytest-benchmark timings (many rounds) of the hot
+operations every experiment exercises: cuckoo-hash insertion at the paper's
+target occupancy, directory lookups, and the sparse directory's insertion
+path, so performance regressions in the core library are visible.
+"""
+
+import itertools
+
+from repro.core.cuckoo_directory import CuckooDirectory
+from repro.core.cuckoo_hash import CuckooHashTable
+from repro.directories.sparse import SparseDirectory
+
+
+def test_cuckoo_hash_insert_at_half_occupancy(benchmark):
+    table = CuckooHashTable(num_ways=4, num_sets=4096)
+    for key in range(table.capacity // 2):
+        table.insert(key)
+    counter = itertools.count(start=1_000_000)
+
+    def insert_and_remove():
+        key = next(counter)
+        table.insert(key)
+        table.remove(key)
+
+    benchmark(insert_and_remove)
+    assert table.occupancy() <= 0.51
+
+
+def test_cuckoo_directory_lookup(benchmark):
+    directory = CuckooDirectory(num_caches=32, num_sets=2048, num_ways=4)
+    for block in range(2048):
+        directory.add_sharer(block, block % 32)
+
+    benchmark(directory.lookup, 1024)
+    assert directory.lookup(1024).found
+
+
+def test_cuckoo_directory_add_remove_sharer(benchmark):
+    directory = CuckooDirectory(num_caches=32, num_sets=2048, num_ways=4)
+    for block in range(1024):
+        directory.add_sharer(block, 0)
+
+    def add_remove():
+        directory.add_sharer(100, 7)
+        directory.remove_sharer(100, 7)
+
+    benchmark(add_remove)
+
+
+def test_sparse_directory_insert_with_conflicts(benchmark):
+    directory = SparseDirectory(num_caches=32, num_sets=256, num_ways=8)
+    counter = itertools.count()
+
+    def insert():
+        block = next(counter)
+        directory.add_sharer(block, block % 32)
+
+    benchmark(insert)

@@ -1,0 +1,29 @@
+"""Figure 4 — area and energy scalability of the baseline organizations.
+
+Regenerates both panels of Figure 4 (energy relative to a 1 MB L2 tag
+lookup, area relative to a 1 MB L2 data array) for the baseline directory
+organizations from 16 to 1024 cores, and checks the scaling trends the
+paper reports.
+"""
+
+from repro.experiments import fig04_scalability
+
+
+def test_fig04_scalability(benchmark):
+    results = benchmark.pedantic(fig04_scalability.run, rounds=1, iterations=1)
+    print()
+    print(fig04_scalability.format_table(results))
+
+    for result in results.values():
+        # Duplicate-Tag energy grows roughly linearly per core...
+        assert result.energy("Duplicate-Tag", 1024) > 30 * result.energy(
+            "Duplicate-Tag", 16
+        )
+        # ...and so does Tagless energy, while Sparse Coarse stays nearly flat.
+        assert result.energy("Tagless", 1024) > 30 * result.energy("Tagless", 16)
+        assert result.energy("Sparse 8x Coarse", 1024) < 2 * result.energy(
+            "Sparse 8x Coarse", 16
+        )
+        # Tagless is the most area-efficient baseline at scale.
+        assert result.area("Tagless", 1024) < result.area("Sparse 8x Coarse", 1024)
+        assert result.area("Tagless", 1024) < result.area("Duplicate-Tag", 1024)

@@ -1,0 +1,36 @@
+"""Figure 7 — d-ary cuckoo hash characteristics.
+
+Regenerates the average-insertion-attempts and insertion-failure-probability
+curves as a function of occupancy for 2/3/4/8-ary cuckoo tables, and checks
+the paper's observations: below 50 % occupancy 3-ary and wider tables insert
+in (nearly) one attempt and never fail; at 65 % occupancy they still do not
+fail; the 2-ary table degrades far earlier.
+"""
+
+from repro.experiments import fig07_hash_characteristics
+
+
+def test_fig07_hash_characteristics(benchmark):
+    results = benchmark.pedantic(
+        fig07_hash_characteristics.run,
+        kwargs=dict(capacity=16_384, num_keys=60_000),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig07_hash_characteristics.format_table(results))
+
+    for arity in (3, 4, 8):
+        series = results[arity].as_series()
+        for occupancy, (attempts, failures) in series.items():
+            if occupancy < 0.5:
+                assert attempts < 1.6
+                assert failures == 0.0
+            if occupancy < 0.65:
+                assert failures == 0.0
+
+    # The 2-ary table is unusable well before the wider tables degrade.
+    two_ary = results[2].as_series()
+    high_bins = [b for b in two_ary if 0.7 < b < 0.9]
+    assert high_bins
+    assert max(two_ary[b][1] for b in high_bins) > 0.25

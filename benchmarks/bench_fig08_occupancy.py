@@ -1,0 +1,34 @@
+"""Figure 8 — average directory occupancy per workload.
+
+Regenerates the per-workload occupancy bars for the Shared-L2 and
+Private-L2 configurations and checks the paper's qualitative findings:
+server workloads leave the directory well under 1x thanks to instruction
+and data sharing, while the scientific/DSS private footprints push the
+Private-L2 configuration towards full occupancy (ocean being the extreme).
+"""
+
+from repro.experiments import fig08_occupancy
+
+
+def test_fig08_occupancy(benchmark, bench_scale, bench_measure, bench_workloads):
+    result = benchmark.pedantic(
+        fig08_occupancy.run,
+        kwargs=dict(
+            workloads=bench_workloads,
+            scale=bench_scale,
+            measure_accesses=bench_measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig08_occupancy.format_table(result))
+
+    assert result.private_l2["ocean"] > 0.85
+    for name in bench_workloads:
+        assert 0.0 < result.shared_l2[name] <= 1.1
+        assert 0.0 < result.private_l2[name] <= 1.1
+    # Server workloads share instructions and data, so Shared-L2 occupancy
+    # stays clearly below the worst case.
+    server = [n for n in bench_workloads if n not in ("em3d", "ocean")]
+    assert all(result.shared_l2[name] < 0.95 for name in server)

@@ -1,0 +1,38 @@
+"""Figure 9 — Cuckoo directory sizing sweep.
+
+Regenerates the insertion-attempt / forced-invalidation sweep over the
+paper's directory geometries (2x down to 3/8x provisioning) for both
+configurations and checks the exponential degradation of under-provisioned
+designs versus the clean behaviour at 1x / 1.5x.
+"""
+
+from repro.experiments import fig09_provisioning
+
+
+def test_fig09_provisioning(benchmark, bench_scale, bench_measure, bench_workloads):
+    result = benchmark.pedantic(
+        fig09_provisioning.run,
+        kwargs=dict(
+            workloads=bench_workloads,
+            scale=bench_scale,
+            measure_accesses=bench_measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig09_provisioning.format_table(result))
+
+    for points in result.configurations().values():
+        by_provisioning = {p.provisioning: p for p in points}
+        factors = sorted(by_provisioning)
+        # Attempts and invalidations grow monotonically (within tolerance) as
+        # the directory shrinks below 1x capacity.
+        most = by_provisioning[factors[-1]]
+        least = by_provisioning[factors[0]]
+        assert least.average_insertion_attempts > most.average_insertion_attempts
+        assert least.forced_invalidation_rate >= most.forced_invalidation_rate
+        # Generously provisioned designs never invalidate; the smallest
+        # (3/8x) design degrades dramatically.
+        assert most.forced_invalidation_rate < 1e-6
+        assert least.forced_invalidation_rate > 0.01

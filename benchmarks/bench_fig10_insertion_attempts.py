@@ -1,0 +1,31 @@
+"""Figure 10 — average insertion attempts of the chosen Cuckoo designs.
+
+Regenerates the per-workload average-insertion-attempt bars for the designs
+selected in Section 5.3 (4-way 1x Shared-L2, 3-way 1.5x Private-L2) and
+checks that the averages stay well below two attempts, with the
+private-footprint-heavy workloads at the high end.
+"""
+
+from repro.experiments import fig10_insertion_attempts
+
+
+def test_fig10_insertion_attempts(benchmark, bench_scale, bench_measure, bench_workloads):
+    result = benchmark.pedantic(
+        fig10_insertion_attempts.run,
+        kwargs=dict(
+            workloads=bench_workloads,
+            scale=bench_scale,
+            measure_accesses=bench_measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig10_insertion_attempts.format_table(result))
+
+    for per_workload in result.configurations().values():
+        for workload, attempts in per_workload.items():
+            assert 1.0 <= attempts < 2.6, (workload, attempts)
+    # ocean (nearly 100% unique private blocks) needs the most attempts in
+    # the Private-L2 configuration.
+    assert result.private_l2["ocean"] == max(result.private_l2.values())

@@ -1,0 +1,31 @@
+"""Figure 11 — worst-case insertion-attempt distributions.
+
+Regenerates the attempt-count distributions for the worst-behaved
+workload/configuration pairs (Oracle on Shared-L2, ocean on Private-L2) and
+checks the exponentially decaying tail with no pile-up at the 32-attempt
+cut-off.
+"""
+
+from repro.experiments import fig11_worst_case
+
+
+def test_fig11_worst_case(benchmark, bench_scale, bench_measure):
+    result = benchmark.pedantic(
+        fig11_worst_case.run,
+        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig11_worst_case.format_table(result))
+
+    for label, distribution in result.distributions.items():
+        assert distribution, f"no insertions recorded for {label}"
+        # Most insertions succeed on the very first attempt (85% Oracle /
+        # 73% ocean in the paper).
+        assert distribution.get(1, 0.0) > 0.6
+        # The tail decays: two attempts are more common than five or more.
+        tail = sum(v for k, v in distribution.items() if k >= 5)
+        assert distribution.get(2, 0.0) >= tail
+        # No pile-up at the cut-off (loops are practically non-existent).
+        assert distribution.get(32, 0.0) < 0.02

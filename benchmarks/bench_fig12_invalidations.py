@@ -1,0 +1,53 @@
+"""Figure 12 — forced-invalidation rate comparison.
+
+Regenerates the per-workload forced-invalidation rates of Sparse 2x,
+Sparse 8x, Skewed 2x and the Cuckoo directory for both configurations and
+checks the ordering the paper reports: the Cuckoo directory — despite
+having the smallest capacity and lowest associativity — experiences
+near-zero invalidations, Skewed 2x improves on Sparse 2x, and Sparse 8x
+buys its low rate with 8x the capacity.
+"""
+
+from repro.experiments import fig12_invalidations
+
+
+def _mean(values):
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def test_fig12_invalidations(benchmark, bench_scale, bench_measure, bench_workloads):
+    result = benchmark.pedantic(
+        fig12_invalidations.run,
+        kwargs=dict(
+            workloads=bench_workloads,
+            scale=bench_scale,
+            measure_accesses=bench_measure,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(fig12_invalidations.format_table(result))
+
+    for config_name, rates in result.configurations().items():
+        sparse2 = _mean(rates["Sparse 2x"].values())
+        sparse8 = _mean(rates["Sparse 8x"].values())
+        skewed2 = _mean(rates["Skewed 2x"].values())
+        cuckoo = _mean(rates["Cuckoo"].values())
+        # The Cuckoo directory is (near-)zero and never worse than the rest.
+        assert cuckoo < 0.005, (config_name, cuckoo)
+        assert cuckoo <= sparse8 + 1e-9
+        assert cuckoo <= skewed2 + 1e-9
+        assert cuckoo <= sparse2 + 1e-9
+        # 8x over-provisioning improves on Sparse 2x; skewing helps overall
+        # but (as the paper notes) not necessarily on the scientific
+        # workloads, so allow a small absolute tolerance.
+        assert sparse8 <= sparse2 + 1e-9
+        assert skewed2 <= sparse2 + 2e-3
+    # Sparse 2x genuinely conflicts somewhere in the suite.
+    worst_sparse2 = max(
+        max(rates["Sparse 2x"].values())
+        for rates in result.configurations().values()
+    )
+    assert worst_sparse2 > 0.0

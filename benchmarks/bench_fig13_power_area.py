@@ -1,0 +1,41 @@
+"""Figure 13 — power and area comparison of directory organizations.
+
+Regenerates the per-core energy and area projections for every organization
+in the paper's comparison (both configurations, 16-1024 cores) and checks
+the headline claims: the Cuckoo directory's energy stays nearly flat while
+Duplicate-Tag/Tagless grow linearly per core, and the Cuckoo organizations
+are several times more area-efficient than the Sparse 8x organizations.
+"""
+
+from repro.experiments import fig13_power_area
+
+
+def test_fig13_power_area(benchmark):
+    results = benchmark.pedantic(fig13_power_area.run, rounds=1, iterations=1)
+    print()
+    print(fig13_power_area.format_table(results))
+
+    ratios = fig13_power_area.headline_ratios(results)
+    # Paper: "up to 80x more power-efficient than Tagless at 1024 cores".
+    assert ratios["tagless_energy_ratio_1024"] > 10
+    # Paper: "more than 7x area-efficiency over Sparse at 1024 cores"
+    # (the model reproduces the over-provisioning ratio, ~5-8x).
+    assert ratios["sparse_area_ratio_1024"] > 4
+    # Paper: "up to 16x more energy-efficient than Duplicate-Tag at 16 cores".
+    assert ratios["duplicate_tag_energy_ratio_16"] > 8
+    # Paper: "up to 6x more area-efficient than Sparse at 16 cores".
+    assert ratios["sparse_area_ratio_16"] > 4
+
+    for result in results.values():
+        # Cuckoo energy is nearly constant per core out to 1024 cores.
+        assert result.energy("Cuckoo Coarse", 1024) < 2 * result.energy(
+            "Cuckoo Coarse", 16
+        )
+        # Cuckoo area beats every Sparse 8x variant at every core count.
+        for cores in result.core_counts:
+            assert result.area("Cuckoo Coarse", cores) < result.area(
+                "Sparse 8x Coarse", cores
+            )
+            assert result.area("Cuckoo Hierarchical", cores) < result.area(
+                "Sparse 8x Hierarchical", cores
+            )

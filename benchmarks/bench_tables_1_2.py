@@ -1,0 +1,55 @@
+"""Tables 1 and 2 — system and application parameters.
+
+Regenerates the two configuration tables of the paper from the library's
+configuration objects, and benchmarks how quickly a full 16-core tiled CMP
+(Table 1 geometry) can be constructed.
+"""
+
+from repro.analysis.tables import render_table
+from repro.config import PRIVATE_L2_16CORE, SHARED_L2_16CORE
+from repro.coherence.system import TiledCMP
+from repro.core.cuckoo_directory import CuckooDirectory
+from repro.workloads.suite import workload_table
+
+
+def test_table1_system_parameters(benchmark):
+    def build():
+        return TiledCMP(
+            SHARED_L2_16CORE,
+            lambda caches, slice_id: CuckooDirectory(
+                num_caches=caches, num_sets=512, num_ways=4
+            ),
+        )
+
+    system = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    rows = [
+        ["CMP size", f"{SHARED_L2_16CORE.num_cores} cores"],
+        ["L1 caches", "split I/D, 64KB, 2 ways, 64-byte blocks"],
+        ["L2 NUCA cache", "1MB per core, 16 ways, 64-byte blocks"],
+        ["Main memory", "8KB pages, 48-bit address space"],
+        ["Tracked caches (Shared-L2)", str(SHARED_L2_16CORE.num_tracked_caches)],
+        ["Tracked caches (Private-L2)", str(PRIVATE_L2_16CORE.num_tracked_caches)],
+        ["Directory slices", str(SHARED_L2_16CORE.num_directory_slices)],
+    ]
+    print()
+    print(render_table(["Parameter", "Value"], rows, title="Table 1: system parameters"))
+
+    assert len(system.tracked_caches) == 32
+    assert len(system.directories) == 16
+    assert SHARED_L2_16CORE.l1_config.num_frames == 1024
+    assert PRIVATE_L2_16CORE.l2_config.num_frames == 16384
+
+
+def test_table2_application_parameters(benchmark):
+    rows = benchmark.pedantic(workload_table, rounds=1, iterations=1)
+    print()
+    print(
+        render_table(
+            ["Workload", "Category", "Parameters"],
+            [[r["name"], r["category"], r["description"]] for r in rows],
+            title="Table 2: application parameters",
+        )
+    )
+    assert len(rows) == 9
+    assert {r["category"] for r in rows} == {"OLTP", "DSS", "Web", "Sci"}

@@ -1,0 +1,41 @@
+"""Shared settings for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints the
+corresponding rows/series.  By default the simulation-based benchmarks run
+on a scaled-down system (see ``repro.experiments.common.scaled_system``)
+with a reduced workload subset so that the whole suite completes in a few
+minutes; set the environment variable ``REPRO_BENCH_FULL=1`` to run every
+Table 2 workload on a larger system (much slower, closer to the paper's
+setup).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.workloads.suite import WORKLOAD_NAMES
+
+FULL_MODE = os.environ.get("REPRO_BENCH_FULL", "0") not in ("0", "", "false")
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> int:
+    """Cache-capacity scale factor (1 = the paper's full-size system)."""
+    return 8 if FULL_MODE else 32
+
+
+@pytest.fixture(scope="session")
+def bench_measure() -> int:
+    """Measured accesses per simulation point."""
+    return 100_000 if FULL_MODE else 12_000
+
+
+@pytest.fixture(scope="session")
+def bench_workloads() -> list:
+    """Workload subset: the full Table 2 suite in full mode, otherwise one
+    representative workload per category (OLTP, DSS, Web, scientific)."""
+    if FULL_MODE:
+        return list(WORKLOAD_NAMES)
+    return ["Oracle", "Qry17", "Apache", "ocean"]

@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Characterise d-ary cuckoo hashing and the worst-case insertion tails.
+
+Regenerates the two hash-level analyses of the paper:
+
+* Figure 7 — average insertion attempts and insertion-failure probability
+  of 2/3/4/8-ary cuckoo tables as a function of occupancy (this is what
+  justifies the "2x capacity is always enough, and usually unnecessary"
+  sizing rule); and
+* Figure 11 — the insertion-attempt distribution of the chosen directory
+  designs under their worst-behaved workloads (Oracle on Shared-L2, ocean
+  on Private-L2), showing the exponentially decaying tail.
+
+Run with:  python examples/cuckoo_hash_analysis.py
+"""
+
+from repro.experiments import fig07_hash_characteristics, fig11_worst_case
+
+
+def main() -> None:
+    print("Characterising d-ary cuckoo hashing (Figure 7)...")
+    hash_results = fig07_hash_characteristics.run(capacity=8192, num_keys=30_000)
+    print(fig07_hash_characteristics.format_table(hash_results))
+    print()
+
+    print("Worst-case insertion-attempt distributions (Figure 11)...")
+    worst_case = fig11_worst_case.run(scale=32, measure_accesses=12_000)
+    print(fig11_worst_case.format_table(worst_case))
+    print()
+
+    for label, distribution in worst_case.distributions.items():
+        first_attempt = distribution.get(1, 0.0) * 100
+        print(f"  {label}: {first_attempt:.1f}% of insertions succeed on the first attempt")
+
+
+if __name__ == "__main__":
+    main()

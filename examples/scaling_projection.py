@@ -1,0 +1,37 @@
+#!/usr/bin/env python3
+"""Project directory energy and area to 1024 cores (Figures 4 and 13).
+
+Uses the analytical energy/area model to regenerate the paper's scaling
+projection for every directory organization, prints the normalised series,
+and summarises the headline ratios (Cuckoo vs. Tagless energy at 1024
+cores, Cuckoo vs. Sparse area, ...).
+
+Run with:  python examples/scaling_projection.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.experiments import fig13_power_area
+
+
+def main() -> None:
+    results = fig13_power_area.run()
+    print(fig13_power_area.format_table(results))
+    print()
+
+    ratios = fig13_power_area.headline_ratios(results)
+    rows = [
+        ["Cuckoo vs Tagless energy @1024 cores",
+         f"{ratios['tagless_energy_ratio_1024']:.1f}x more efficient"],
+        ["Cuckoo vs Sparse 8x area @1024 cores",
+         f"{ratios['sparse_area_ratio_1024']:.1f}x smaller"],
+        ["Cuckoo vs Duplicate-Tag energy @16 cores",
+         f"{ratios['duplicate_tag_energy_ratio_16']:.1f}x more efficient"],
+        ["Cuckoo vs Sparse 8x area @16 cores",
+         f"{ratios['sparse_area_ratio_16']:.1f}x smaller"],
+    ]
+    print(render_table(["Headline comparison", "Model projection"], rows,
+                       title="Paper headline claims, as reproduced by the model"))
+
+
+if __name__ == "__main__":
+    main()

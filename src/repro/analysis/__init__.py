@@ -1,0 +1,19 @@
+"""Result aggregation and plain-text reporting helpers.
+
+Experiments produce dictionaries of numbers; this package turns them into
+the ASCII tables printed by the examples and benchmark harnesses, and
+provides the small statistical helpers (binning, geometric means) the
+experiment drivers share.
+"""
+
+from repro.analysis.stats import bin_by, geometric_mean, summarize
+from repro.analysis.tables import format_percentage, format_ratio, render_table
+
+__all__ = [
+    "render_table",
+    "format_percentage",
+    "format_ratio",
+    "geometric_mean",
+    "bin_by",
+    "summarize",
+]

@@ -1,0 +1,69 @@
+"""Small statistical helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["geometric_mean", "bin_by", "summarize"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; zero values clamp to a tiny epsilon.
+
+    Architecture studies conventionally summarise ratios across workloads
+    with the geometric mean; clamping keeps an all-but-one-zero series from
+    collapsing the summary to zero.
+    """
+    values = list(values)
+    if not values:
+        return 0.0
+    epsilon = 1e-12
+    log_sum = 0.0
+    for value in values:
+        if value < 0:
+            raise ValueError("geometric mean requires non-negative values")
+        log_sum += math.log(max(value, epsilon))
+    return math.exp(log_sum / len(values))
+
+
+def bin_by(
+    pairs: Iterable[Tuple[float, float]],
+    bin_width: float,
+    lower: float = 0.0,
+    upper: float = 1.0,
+) -> Dict[float, float]:
+    """Average the second element of ``pairs`` in bins of the first element.
+
+    Used by the Figure 7 experiment to average insertion attempts over
+    occupancy bins.  Returns ``{bin_center: mean_value}`` for non-empty
+    bins only, in increasing bin order.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    sums: Dict[int, float] = {}
+    counts: Dict[int, int] = {}
+    for key, value in pairs:
+        if key < lower or key > upper:
+            continue
+        index = int((key - lower) / bin_width)
+        sums[index] = sums.get(index, 0.0) + value
+        counts[index] = counts.get(index, 0) + 1
+    result: Dict[float, float] = {}
+    for index in sorted(sums):
+        center = lower + (index + 0.5) * bin_width
+        result[round(center, 10)] = sums[index] / counts[index]
+    return result
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """Mean / min / max / count summary of a numeric sequence."""
+    values = list(values)
+    if not values:
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0}
+    return {
+        "count": float(len(values)),
+        "mean": sum(values) / len(values),
+        "min": min(values),
+        "max": max(values),
+    }

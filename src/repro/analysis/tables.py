@@ -1,0 +1,76 @@
+"""Plain-text table rendering.
+
+The paper reports its results as figures; the reproduction prints the same
+series as aligned ASCII tables so they can be read in a terminal, diffed
+between runs, and pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["render_table", "format_percentage", "format_ratio"]
+
+
+def format_percentage(value: float, digits: int = 2) -> str:
+    """Format a fraction as a percentage string (0.034 -> '3.40%')."""
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_ratio(value: float, digits: int = 2) -> str:
+    """Format a ratio with a fixed number of decimals (2.5 -> '2.50x')."""
+    return f"{value:.{digits}f}x"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render rows as an aligned ASCII table.
+
+    Cells are converted with ``str``; numeric alignment is right-justified
+    for cells that look numeric and left-justified otherwise.
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    header_row = [str(h) for h in headers]
+    num_columns = len(header_row)
+    for row in materialized:
+        if len(row) != num_columns:
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {num_columns} columns"
+            )
+
+    widths = [len(h) for h in header_row]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def looks_numeric(text: str) -> bool:
+        stripped = text.rstrip("%x").replace(",", "")
+        try:
+            float(stripped)
+            return True
+        except ValueError:
+            return False
+
+    def format_row(row: Sequence[str]) -> str:
+        cells = []
+        for index, cell in enumerate(row):
+            if looks_numeric(cell):
+                cells.append(cell.rjust(widths[index]))
+            else:
+                cells.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(cells) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(format_row(header_row))
+    lines.append(separator)
+    for row in materialized:
+        lines.append(format_row(row))
+    lines.append(separator)
+    return "\n".join(lines)

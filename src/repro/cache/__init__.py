@@ -1,0 +1,31 @@
+"""Set-associative cache models.
+
+The coherence directory's behaviour is driven entirely by which blocks the
+private caches hold, so the library contains a faithful (if timing-free)
+cache model: set-associative arrays with pluggable replacement policies,
+write-back dirty tracking, and MESI block states that the coherence layer
+manages.  Evictions are surfaced to the caller because the directory must
+observe them (Section 5.2: "Dirty and clean evictions from the private
+caches are tracked by the directory").
+"""
+
+from repro.cache.cache import AccessResult, CacheBlock, CoherenceState, SetAssociativeCache
+from repro.cache.replacement import (
+    FifoPolicy,
+    LruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    make_policy,
+)
+
+__all__ = [
+    "AccessResult",
+    "CacheBlock",
+    "CoherenceState",
+    "SetAssociativeCache",
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+]

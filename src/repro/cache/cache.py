@@ -1,0 +1,292 @@
+"""Set-associative cache model with write-back semantics and MESI states.
+
+The model is *behavioural*: it tracks which block addresses are resident,
+their coherence state, and which blocks get evicted, but not data values
+or timing.  That is exactly the information the coherence directory needs.
+
+Addresses handled here are **block addresses** (byte address divided by
+the block size); the coherence layer performs the division once so every
+structure in the library agrees on the address granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Optional
+
+from repro.cache.replacement import LruPolicy, ReplacementPolicy
+from repro.config import CacheConfig
+
+__all__ = ["CoherenceState", "CacheBlock", "AccessResult", "CacheStats", "SetAssociativeCache"]
+
+
+class CoherenceState(str, Enum):
+    """MESI block states as seen by a private cache."""
+
+    MODIFIED = "M"
+    EXCLUSIVE = "E"
+    SHARED = "S"
+    INVALID = "I"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not CoherenceState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
+
+
+@dataclass
+class CacheBlock:
+    """A resident block frame."""
+
+    address: int
+    state: CoherenceState = CoherenceState.SHARED
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of installing or touching a block."""
+
+    hit: bool
+    victim_address: Optional[int] = None
+    victim_dirty: bool = False
+    victim_state: Optional[CoherenceState] = None
+
+    @property
+    def evicted(self) -> bool:
+        return self.victim_address is not None
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    invalidations_received: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """A set-associative, write-back cache over block addresses.
+
+    The cache does not fetch data on its own: the coherence controller
+    decides when to install a block (``fill``) and in which state, and the
+    cache reports which victim, if any, had to leave.  ``probe`` answers
+    hit/miss questions without side effects, ``touch`` updates recency on
+    a hit, and ``invalidate`` removes a block on a remote write.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self._config = config
+        self._name = name
+        self._num_sets = config.num_sets
+        self._num_ways = config.associativity
+        self._policy = policy or LruPolicy(self._num_sets, self._num_ways)
+        if self._policy.num_sets != self._num_sets or self._policy.num_ways != self._num_ways:
+            raise ValueError("replacement policy geometry does not match the cache")
+        # frames[set][way] -> CacheBlock or None
+        self._frames: List[List[Optional[CacheBlock]]] = [
+            [None] * self._num_ways for _ in range(self._num_sets)
+        ]
+        # Reverse map: block address -> (set, way); kept in sync with frames.
+        self._location: Dict[int, tuple] = {}
+        self._stats = CacheStats()
+
+    # -- geometry ---------------------------------------------------------
+    @property
+    def config(self) -> CacheConfig:
+        return self._config
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def num_ways(self) -> int:
+        return self._num_ways
+
+    @property
+    def num_frames(self) -> int:
+        return self._num_sets * self._num_ways
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._stats
+
+    def reset_stats(self) -> None:
+        """Clear hit/miss/eviction counters (end of warm-up)."""
+        self._stats = CacheStats()
+
+    def set_index(self, address: int) -> int:
+        """Set index of a block address (modulo indexing)."""
+        return address % self._num_sets
+
+    # -- queries ------------------------------------------------------------
+    def probe(self, address: int) -> Optional[CacheBlock]:
+        """Return the resident block for ``address`` or ``None`` (no side effects)."""
+        loc = self._location.get(address)
+        if loc is None:
+            return None
+        set_index, way = loc
+        return self._frames[set_index][way]
+
+    def contains(self, address: int) -> bool:
+        return address in self._location
+
+    def state_of(self, address: int) -> CoherenceState:
+        block = self.probe(address)
+        return block.state if block is not None else CoherenceState.INVALID
+
+    def resident_addresses(self) -> Iterator[int]:
+        """All block addresses currently resident (iteration order unspecified)."""
+        return iter(self._location.keys())
+
+    def occupancy(self) -> float:
+        return len(self._location) / self.num_frames if self.num_frames else 0.0
+
+    def __len__(self) -> int:
+        return len(self._location)
+
+    # -- mutations ------------------------------------------------------------
+    def touch(self, address: int, write: bool = False) -> bool:
+        """Record an access to a resident block; returns False on miss.
+
+        On a write hit the block is marked dirty; state transitions are the
+        coherence controller's job (via :meth:`set_state`).
+        """
+        self._stats.accesses += 1
+        loc = self._location.get(address)
+        if loc is None:
+            self._stats.misses += 1
+            return False
+        set_index, way = loc
+        block = self._frames[set_index][way]
+        assert block is not None
+        if write:
+            block.dirty = True
+        self._policy.on_access(set_index, way)
+        self._stats.hits += 1
+        return True
+
+    def fill(
+        self,
+        address: int,
+        state: CoherenceState = CoherenceState.SHARED,
+        dirty: bool = False,
+    ) -> AccessResult:
+        """Install ``address``; evicts a victim if the set is full.
+
+        Filling an already-resident block refreshes its recency and state
+        without an eviction (hit-path fill), which keeps the model robust
+        against redundant controller fills.
+        """
+        existing = self._location.get(address)
+        if existing is not None:
+            set_index, way = existing
+            block = self._frames[set_index][way]
+            assert block is not None
+            block.state = state
+            block.dirty = block.dirty or dirty
+            self._policy.on_access(set_index, way)
+            return AccessResult(hit=True)
+
+        set_index = self.set_index(address)
+        ways = self._frames[set_index]
+        victim_address: Optional[int] = None
+        victim_dirty = False
+        victim_state: Optional[CoherenceState] = None
+
+        free_way = next((w for w, blk in enumerate(ways) if blk is None), None)
+        if free_way is None:
+            occupied = list(range(self._num_ways))
+            victim_way = self._policy.select_victim(set_index, occupied)
+            victim = ways[victim_way]
+            assert victim is not None
+            victim_address = victim.address
+            victim_dirty = victim.dirty
+            victim_state = victim.state
+            self._evict_frame(set_index, victim_way)
+            free_way = victim_way
+
+        ways[free_way] = CacheBlock(address=address, state=state, dirty=dirty)
+        self._location[address] = (set_index, free_way)
+        self._policy.on_fill(set_index, free_way)
+        return AccessResult(
+            hit=False,
+            victim_address=victim_address,
+            victim_dirty=victim_dirty,
+            victim_state=victim_state,
+        )
+
+    def invalidate(self, address: int) -> bool:
+        """Remove ``address`` (remote write or forced directory eviction)."""
+        loc = self._location.get(address)
+        if loc is None:
+            return False
+        set_index, way = loc
+        self._policy.on_invalidate(set_index, way)
+        self._frames[set_index][way] = None
+        del self._location[address]
+        self._stats.invalidations_received += 1
+        return True
+
+    def set_state(self, address: int, state: CoherenceState) -> None:
+        """Set the MESI state of a resident block (controller-driven)."""
+        block = self.probe(address)
+        if block is None:
+            raise KeyError(f"block {address:#x} not resident in {self._name}")
+        if state is CoherenceState.INVALID:
+            self.invalidate(address)
+            return
+        block.state = state
+        if state is CoherenceState.MODIFIED:
+            block.dirty = True
+
+    def flush(self) -> List[int]:
+        """Empty the cache, returning the addresses that were resident."""
+        addresses = list(self._location.keys())
+        for address in addresses:
+            loc = self._location[address]
+            self._frames[loc[0]][loc[1]] = None
+        self._location.clear()
+        return addresses
+
+    # -- internals ------------------------------------------------------------
+    def _evict_frame(self, set_index: int, way: int) -> None:
+        block = self._frames[set_index][way]
+        assert block is not None
+        self._stats.evictions += 1
+        if block.dirty:
+            self._stats.dirty_evictions += 1
+        del self._location[block.address]
+        self._frames[set_index][way] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self._name!r}, sets={self._num_sets}, "
+            f"ways={self._num_ways}, resident={len(self._location)})"
+        )

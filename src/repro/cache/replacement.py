@@ -1,0 +1,152 @@
+"""Replacement policies for the set-associative cache model.
+
+A policy is instantiated per cache and consulted per set.  The interface
+is deliberately narrow — record a touch, record an insertion, pick a
+victim way — so policies can be swapped without the cache knowing their
+internals.  The paper's caches are LRU; FIFO and random are provided for
+sensitivity studies and for tests that need a deterministic non-recency
+policy.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+__all__ = [
+    "ReplacementPolicy",
+    "LruPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "make_policy",
+]
+
+
+class ReplacementPolicy(abc.ABC):
+    """Chooses which way of a set to victimise."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        if num_sets <= 0 or num_ways <= 0:
+            raise ValueError("num_sets and num_ways must be positive")
+        self._num_sets = num_sets
+        self._num_ways = num_ways
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def num_ways(self) -> int:
+        return self._num_ways
+
+    @abc.abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """A resident block in ``(set_index, way)`` was accessed (hit)."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """A block was installed into ``(set_index, way)``."""
+
+    @abc.abstractmethod
+    def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        """Pick the way to evict among ``occupied_ways`` (all ways full)."""
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """A block was invalidated; default implementations need no action."""
+
+    def _check(self, set_index: int, way: int) -> None:
+        if not 0 <= set_index < self._num_sets:
+            raise IndexError(f"set {set_index} out of range")
+        if not 0 <= way < self._num_ways:
+            raise IndexError(f"way {way} out of range")
+
+
+class LruPolicy(ReplacementPolicy):
+    """Least-recently-used replacement (the paper's cache policy)."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        # Per-set recency stamp per way; larger = more recent.
+        self._stamps = np.zeros((num_sets, num_ways), dtype=np.int64)
+        self._clock = 0
+
+    def _touch(self, set_index: int, way: int) -> None:
+        self._clock += 1
+        self._stamps[set_index, way] = self._clock
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        self._touch(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        self._touch(set_index, way)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        self._stamps[set_index, way] = 0
+
+    def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        if not occupied_ways:
+            raise ValueError("select_victim requires at least one occupied way")
+        return min(occupied_ways, key=lambda way: self._stamps[set_index, way])
+
+
+class FifoPolicy(ReplacementPolicy):
+    """First-in-first-out replacement (insertion order, accesses ignored)."""
+
+    def __init__(self, num_sets: int, num_ways: int) -> None:
+        super().__init__(num_sets, num_ways)
+        self._fill_order = np.zeros((num_sets, num_ways), dtype=np.int64)
+        self._clock = 0
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+        self._clock += 1
+        self._fill_order[set_index, way] = self._clock
+
+    def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        if not occupied_ways:
+            raise ValueError("select_victim requires at least one occupied way")
+        return min(occupied_ways, key=lambda way: self._fill_order[set_index, way])
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random replacement (seeded for reproducibility)."""
+
+    def __init__(self, num_sets: int, num_ways: int, seed: int = 0) -> None:
+        super().__init__(num_sets, num_ways)
+        self._rng = np.random.default_rng(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self._check(set_index, way)
+
+    def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        if not occupied_ways:
+            raise ValueError("select_victim requires at least one occupied way")
+        return int(self._rng.choice(occupied_ways))
+
+
+_POLICIES = {
+    "lru": LruPolicy,
+    "fifo": FifoPolicy,
+    "random": RandomPolicy,
+}
+
+
+def make_policy(name: str, num_sets: int, num_ways: int, **kwargs) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``, ``fifo``, ``random``)."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        valid = ", ".join(sorted(_POLICIES))
+        raise ValueError(f"unknown replacement policy {name!r}; expected one of {valid}")
+    return cls(num_sets, num_ways, **kwargs)

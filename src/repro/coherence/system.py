@@ -1,0 +1,387 @@
+"""Tiled-CMP coherence model.
+
+:class:`TiledCMP` wires together the private caches, the address-interleaved
+directory slices, and a mesh hop model, and executes memory accesses the way
+Figure 2 of the paper describes: the accessing core's private cache is tried
+first; misses and write-upgrades travel to the block's *home* tile, where the
+directory slice is consulted and invalidations are sent to the sharers it
+reports.
+
+Two configurations are supported, matching Section 5:
+
+* ``CacheLevel.L1`` (**Shared-L2**): the tracked private caches are the split
+  I/D L1s (two per core); an address-interleaved shared L2 sits behind them
+  and is modelled for hit-rate/traffic statistics.
+* ``CacheLevel.L2`` (**Private-L2**): the tracked private caches are unified
+  1 MB private L2s (one per core).  The small L1s in front of them are not
+  modelled: they filter repeated hits to hot blocks but do not change which
+  blocks are resident in the L2s, which is the only thing the directory
+  observes (this substitution is recorded in DESIGN.md).
+
+The directory organization is supplied as a factory so identical access
+streams can be replayed against Sparse, Skewed, Duplicate-Tag, Tagless or
+Cuckoo organizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cache.cache import CoherenceState, SetAssociativeCache
+from repro.config import CacheLevel, SystemConfig
+from repro.coherence.interconnect import MeshInterconnect
+from repro.coherence.messages import MessageType, TrafficStats
+from repro.coherence.paging import PageMapper
+from repro.directories.base import Directory, DirectoryStats, Invalidation, UpdateResult
+
+__all__ = ["MemoryAccess", "DirectoryFactory", "TiledCMP"]
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """One memory reference issued by a core.
+
+    ``address`` is a byte address; the system converts it to a block
+    address internally.  ``is_instruction`` selects the L1 instruction
+    cache in the Shared-L2 configuration (ignored in Private-L2).
+    """
+
+    core: int
+    address: int
+    is_write: bool = False
+    is_instruction: bool = False
+
+
+#: Signature of a directory-slice factory: ``(num_tracked_caches, slice_id)``.
+DirectoryFactory = Callable[[int, int], Directory]
+
+
+class TiledCMP:
+    """Trace-driven tiled CMP with a pluggable coherence directory."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        directory_factory: DirectoryFactory,
+        track_traffic: bool = True,
+        page_mapper: Optional[PageMapper] = None,
+        page_mapper_seed: int = 0,
+    ) -> None:
+        self._config = config
+        self._track_traffic = track_traffic
+        self._offset_bits = config.tracked_cache_config.block_offset_bits
+        # Virtual-to-physical translation (OS first-touch allocation): see
+        # repro.coherence.paging for why this matters to directory conflicts.
+        self._page_mapper = page_mapper or PageMapper(
+            page_bytes=config.page_bytes, seed=page_mapper_seed
+        )
+        num_cores = config.num_cores
+
+        # Tracked private caches: index == tracked cache id.
+        self._tracked: List[SetAssociativeCache] = []
+        if config.tracked_level is CacheLevel.L1:
+            for core in range(num_cores):
+                self._tracked.append(
+                    SetAssociativeCache(config.l1_config, name=f"l1i-{core}")
+                )
+                self._tracked.append(
+                    SetAssociativeCache(config.l1_config, name=f"l1d-{core}")
+                )
+            # The shared L2 is modelled for hit-rate statistics only.
+            self._l2_banks: Optional[List[SetAssociativeCache]] = [
+                SetAssociativeCache(config.l2_config, name=f"l2-bank-{core}")
+                for core in range(num_cores)
+            ]
+        else:
+            for core in range(num_cores):
+                self._tracked.append(
+                    SetAssociativeCache(config.l2_config, name=f"l2-{core}")
+                )
+            self._l2_banks = None
+
+        num_tracked = len(self._tracked)
+        self._directories: List[Directory] = [
+            directory_factory(num_tracked, slice_id)
+            for slice_id in range(config.num_directory_slices)
+        ]
+        self._mesh = MeshInterconnect(num_cores)
+        self._traffic = TrafficStats()
+        self._accesses = 0
+
+    # -- geometry / accessors ------------------------------------------------
+    @property
+    def config(self) -> SystemConfig:
+        return self._config
+
+    @property
+    def directories(self) -> Sequence[Directory]:
+        return tuple(self._directories)
+
+    @property
+    def tracked_caches(self) -> Sequence[SetAssociativeCache]:
+        return tuple(self._tracked)
+
+    @property
+    def l2_banks(self) -> Optional[Sequence[SetAssociativeCache]]:
+        return tuple(self._l2_banks) if self._l2_banks is not None else None
+
+    @property
+    def traffic(self) -> TrafficStats:
+        return self._traffic
+
+    @property
+    def accesses_processed(self) -> int:
+        return self._accesses
+
+    @property
+    def page_mapper(self) -> PageMapper:
+        return self._page_mapper
+
+    def block_address(self, byte_address: int) -> int:
+        """Physical block address of a virtual byte address."""
+        return self._page_mapper.translate(byte_address) >> self._offset_bits
+
+    def home_slice(self, block: int) -> int:
+        """Home tile of a block (static address interleaving)."""
+        return block % len(self._directories)
+
+    def slice_local_address(self, block: int) -> int:
+        """Block address as seen by its home directory slice.
+
+        The interleaving bits select the slice and are therefore constant
+        for every block a slice sees; real hardware strips them before
+        indexing the slice's tag store (otherwise only ``1/num_slices`` of
+        the sets would ever be used).  Directories in this model operate
+        on these slice-local addresses.
+        """
+        return block // len(self._directories)
+
+    def global_address(self, local_block: int, slice_id: int) -> int:
+        """Inverse of :meth:`slice_local_address` for a given home slice."""
+        return local_block * len(self._directories) + slice_id
+
+    def tracked_cache_id(self, core: int, is_instruction: bool) -> int:
+        """Tracked-cache id for an access issued by ``core``."""
+        if not 0 <= core < self._config.num_cores:
+            raise IndexError(f"core {core} out of range")
+        if self._config.tracked_level is CacheLevel.L1:
+            return core * 2 + (0 if is_instruction else 1)
+        return core
+
+    def core_of_cache(self, cache_id: int) -> int:
+        """Core (tile) that owns a tracked cache."""
+        if self._config.tracked_level is CacheLevel.L1:
+            return cache_id // 2
+        return cache_id
+
+    # -- statistics ------------------------------------------------------------
+    def directory_stats(self) -> DirectoryStats:
+        """Statistics merged across all directory slices."""
+        merged = DirectoryStats()
+        for directory in self._directories:
+            merged = merged.merge(directory.stats)
+        return merged
+
+    def sample_occupancy(self) -> float:
+        """Sample every slice's occupancy; returns the mean of this sample."""
+        values = [directory.sample_occupancy() for directory in self._directories]
+        return sum(values) / len(values)
+
+    def reset_stats(self) -> None:
+        """Clear directory, cache and traffic statistics (end of warm-up)."""
+        for directory in self._directories:
+            directory.reset_stats()
+        for cache in self._tracked:
+            cache.reset_stats()
+        if self._l2_banks is not None:
+            for bank in self._l2_banks:
+                bank.reset_stats()
+        self._traffic = TrafficStats()
+
+    # -- the access path ---------------------------------------------------------
+    def access(self, access: MemoryAccess) -> None:
+        """Execute one memory access through the coherence protocol."""
+        self._accesses += 1
+        block = self.block_address(access.address)
+        cache_id = self.tracked_cache_id(access.core, access.is_instruction)
+        cache = self._tracked[cache_id]
+        home = self.home_slice(block)
+        local = self.slice_local_address(block)
+        directory = self._directories[home]
+
+        hit = cache.touch(block, write=access.is_write)
+        if hit:
+            if access.is_write:
+                self._handle_write_hit(block, local, cache_id, cache, home, directory)
+            return
+
+        # Miss: consult the home directory (and the shared L2 bank for stats).
+        if self._l2_banks is not None:
+            bank = self._l2_banks[home]
+            if not bank.touch(block, write=access.is_write):
+                bank.fill(block)
+        if access.is_write:
+            self._handle_write_miss(block, local, cache_id, cache, home, directory)
+        else:
+            self._handle_read_miss(block, local, cache_id, cache, home, directory)
+
+    # -- protocol actions ----------------------------------------------------------
+    def _handle_write_hit(
+        self,
+        block: int,
+        local: int,
+        cache_id: int,
+        cache: SetAssociativeCache,
+        home: int,
+        directory: Directory,
+    ) -> None:
+        state = cache.state_of(block)
+        if state is CoherenceState.MODIFIED:
+            return
+        if state is CoherenceState.EXCLUSIVE:
+            # Silent E -> M upgrade; no directory interaction needed.
+            cache.set_state(block, CoherenceState.MODIFIED)
+            return
+        # S -> M upgrade: the home must invalidate the other sharers.
+        self._record(MessageType.GET_MODIFIED, self.core_of_cache(cache_id), home)
+        result = directory.acquire_exclusive(local, cache_id)
+        self._apply_coherence_invalidations(block, result, home, requester=cache_id)
+        self._apply_forced_invalidations(result.invalidations, home)
+        cache.set_state(block, CoherenceState.MODIFIED)
+
+    def _handle_write_miss(
+        self,
+        block: int,
+        local: int,
+        cache_id: int,
+        cache: SetAssociativeCache,
+        home: int,
+        directory: Directory,
+    ) -> None:
+        self._record(MessageType.GET_MODIFIED, self.core_of_cache(cache_id), home)
+        result = directory.acquire_exclusive(local, cache_id)
+        self._apply_coherence_invalidations(block, result, home, requester=cache_id)
+        self._apply_forced_invalidations(result.invalidations, home)
+        self._record(MessageType.DATA, home, self.core_of_cache(cache_id))
+        fill = cache.fill(block, state=CoherenceState.MODIFIED, dirty=True)
+        self._handle_victim(fill, cache_id)
+
+    def _handle_read_miss(
+        self,
+        block: int,
+        local: int,
+        cache_id: int,
+        cache: SetAssociativeCache,
+        home: int,
+        directory: Directory,
+    ) -> None:
+        self._record(MessageType.GET_SHARED, self.core_of_cache(cache_id), home)
+        existing = directory.lookup(local)
+        if existing.found:
+            self._downgrade_owner(block, existing.sharers, home, requester=cache_id)
+            new_state = CoherenceState.SHARED
+        else:
+            new_state = CoherenceState.EXCLUSIVE
+        result = directory.add_sharer(local, cache_id)
+        self._apply_forced_invalidations(result.invalidations, home)
+        self._record(MessageType.DATA, home, self.core_of_cache(cache_id))
+        fill = cache.fill(block, state=new_state)
+        self._handle_victim(fill, cache_id)
+
+    def _downgrade_owner(
+        self, block: int, sharers, home: int, requester: int
+    ) -> None:
+        """On a read miss, an M/E owner must be downgraded to S."""
+        for sharer in sharers:
+            if sharer == requester:
+                continue
+            owner_cache = self._tracked[sharer]
+            state = owner_cache.state_of(block)
+            if state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
+                self._record(
+                    MessageType.FWD_GET, home, self.core_of_cache(sharer)
+                )
+                if state is CoherenceState.MODIFIED:
+                    self._record(
+                        MessageType.PUT_MODIFIED, self.core_of_cache(sharer), home
+                    )
+                owner_cache.set_state(block, CoherenceState.SHARED)
+
+    def _apply_coherence_invalidations(
+        self, block: int, result: UpdateResult, home: int, requester: int
+    ) -> None:
+        """Invalidate the accessed block in every other reported sharer."""
+        for sharer in result.coherence_invalidations:
+            if sharer == requester:
+                continue
+            self._record(MessageType.INVALIDATE, home, self.core_of_cache(sharer))
+            self._tracked[sharer].invalidate(block)
+            self._record(MessageType.INV_ACK, self.core_of_cache(sharer), home)
+
+    def _apply_forced_invalidations(
+        self, invalidations: Sequence[Invalidation], home: int
+    ) -> None:
+        """Invalidate blocks whose directory entries were victimised.
+
+        The directory has already dropped the entry; the private caches
+        must drop their copies to preserve the inclusion property between
+        the directory and the tracked caches.  Victim addresses arrive in
+        slice-local form and are translated back to global block addresses
+        before touching the caches.
+        """
+        for invalidation in invalidations:
+            block = self.global_address(invalidation.address, home)
+            for sharer in invalidation.caches:
+                self._record(
+                    MessageType.INVALIDATE, home, self.core_of_cache(sharer)
+                )
+                self._tracked[sharer].invalidate(block)
+                self._record(
+                    MessageType.INV_ACK, self.core_of_cache(sharer), home
+                )
+
+    def _handle_victim(self, fill_result, cache_id: int) -> None:
+        """Notify the victim's home directory of a private-cache eviction."""
+        if fill_result.victim_address is None:
+            return
+        victim = fill_result.victim_address
+        victim_home = self.home_slice(victim)
+        message = (
+            MessageType.PUT_MODIFIED if fill_result.victim_dirty else MessageType.PUT_SHARED
+        )
+        self._record(message, self.core_of_cache(cache_id), victim_home)
+        self._directories[victim_home].remove_sharer(
+            self.slice_local_address(victim), cache_id
+        )
+
+    # -- consistency checking (used by integration tests) --------------------------
+    def check_inclusion(self) -> List[str]:
+        """Verify directory/cache consistency; returns a list of violations.
+
+        Two invariants are checked:
+
+        * every block resident in a tracked cache is reported as shared by
+          that cache in its home directory slice (no silently untracked
+          blocks);
+        * every *exact* directory organization reports only true sharers
+          (inexact encodings legitimately report supersets and are skipped).
+        """
+        violations: List[str] = []
+        for cache_id, cache in enumerate(self._tracked):
+            for block in cache.resident_addresses():
+                directory = self._directories[self.home_slice(block)]
+                sharers = directory.lookup(self.slice_local_address(block)).sharers
+                if cache_id not in sharers:
+                    violations.append(
+                        f"block {block:#x} resident in cache {cache_id} "
+                        f"but not tracked by its home directory"
+                    )
+        return violations
+
+    # -- helpers ---------------------------------------------------------------------
+    def _record(self, message_type: MessageType, source: int, destination: int) -> None:
+        if not self._track_traffic:
+            return
+        hops = self._mesh.hops(source, destination)
+        self._traffic.record(message_type, hops=hops)

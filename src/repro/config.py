@@ -1,0 +1,230 @@
+"""System and directory configuration objects.
+
+This module captures Table 1 of the paper (the simulated tiled-CMP
+parameters) as plain dataclasses that the rest of the library consumes.
+Every quantity is expressed in the units the hardware community uses
+(bytes, ways, block sizes) and every derived quantity (number of sets,
+frames per cache, directory-slice capacity) is exposed as a property so
+experiments never re-derive them inconsistently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional
+
+__all__ = [
+    "CacheLevel",
+    "CacheConfig",
+    "SystemConfig",
+    "DirectoryConfig",
+    "SHARED_L2_16CORE",
+    "PRIVATE_L2_16CORE",
+    "PAPER_EVENT_MIX",
+]
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+class CacheLevel(str, Enum):
+    """Which private-cache level the coherence directory tracks."""
+
+    L1 = "L1"
+    L2 = "L2"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of a single cache.
+
+    Parameters mirror Table 1: 64 KB 2-way split I/D L1 caches and
+    1 MB-per-core 16-way L2 caches with 64-byte blocks.
+    """
+
+    size_bytes: int
+    associativity: int
+    block_bytes: int = 64
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if not _is_power_of_two(self.block_bytes):
+            raise ValueError("block size must be a power of two")
+        if self.size_bytes % (self.associativity * self.block_bytes) != 0:
+            raise ValueError(
+                "cache size must be divisible by associativity * block size"
+            )
+
+    @property
+    def num_frames(self) -> int:
+        """Total number of block frames in the cache."""
+        return self.size_bytes // self.block_bytes
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (frames / associativity)."""
+        return self.num_frames // self.associativity
+
+    @property
+    def block_offset_bits(self) -> int:
+        return int(math.log2(self.block_bytes))
+
+    @property
+    def index_bits(self) -> int:
+        return int(math.log2(self.num_sets)) if _is_power_of_two(self.num_sets) else 0
+
+    def tag_bits(self, address_bits: int) -> int:
+        """Width of a stored tag for a machine with ``address_bits`` physical bits."""
+        return max(0, address_bits - self.block_offset_bits - self.index_bits)
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Tiled-CMP parameters (Table 1 of the paper).
+
+    The directory tracks the private caches named by ``tracked_level``:
+    the Shared-L2 configuration tracks split I/D L1 caches (two caches per
+    core), the Private-L2 configuration tracks unified private L2 caches
+    (one cache per core).
+    """
+
+    num_cores: int = 16
+    l1_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=64 * 1024, associativity=2)
+    )
+    l2_config: CacheConfig = field(
+        default_factory=lambda: CacheConfig(size_bytes=1024 * 1024, associativity=16)
+    )
+    tracked_level: CacheLevel = CacheLevel.L1
+    address_bits: int = 48
+    page_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if self.num_cores <= 0:
+            raise ValueError("num_cores must be positive")
+        if not _is_power_of_two(self.num_cores):
+            raise ValueError("num_cores must be a power of two")
+        if self.address_bits <= 0:
+            raise ValueError("address_bits must be positive")
+
+    @property
+    def block_bytes(self) -> int:
+        return self.l1_config.block_bytes
+
+    @property
+    def caches_per_core(self) -> int:
+        """Number of tracked private caches contributed by each core."""
+        return 2 if self.tracked_level is CacheLevel.L1 else 1
+
+    @property
+    def num_tracked_caches(self) -> int:
+        """Total number of private caches the directory must track."""
+        return self.num_cores * self.caches_per_core
+
+    @property
+    def tracked_cache_config(self) -> CacheConfig:
+        return self.l1_config if self.tracked_level is CacheLevel.L1 else self.l2_config
+
+    @property
+    def num_directory_slices(self) -> int:
+        """Directory slices are distributed one per core (address-interleaved)."""
+        return self.num_cores
+
+    @property
+    def tracked_frames_per_slice(self) -> int:
+        """Worst-case number of distinct blocks a slice must track.
+
+        With address interleaving, each slice is responsible for 1/N of the
+        address space, so at most ``total tracked frames / N`` distinct
+        blocks map to it (the paper's "1x" provisioning point).
+        """
+        total_frames = self.num_tracked_caches * self.tracked_cache_config.num_frames
+        return total_frames // self.num_directory_slices
+
+    def with_cores(self, num_cores: int) -> "SystemConfig":
+        """Return a copy of this configuration scaled to ``num_cores`` cores."""
+        return SystemConfig(
+            num_cores=num_cores,
+            l1_config=self.l1_config,
+            l2_config=self.l2_config,
+            tracked_level=self.tracked_level,
+            address_bits=self.address_bits,
+            page_bytes=self.page_bytes,
+        )
+
+
+@dataclass(frozen=True)
+class DirectoryConfig:
+    """Geometry of a single directory slice.
+
+    ``ways`` and ``sets`` describe the tag store; ``provisioning`` records
+    the capacity relative to the worst-case number of simultaneously
+    tracked blocks (the parenthesised factor in Figure 9).
+    """
+
+    ways: int
+    sets: int
+    provisioning: Optional[float] = None
+    max_insertion_attempts: int = 32
+
+    def __post_init__(self) -> None:
+        if self.ways <= 0:
+            raise ValueError("ways must be positive")
+        if self.sets <= 0:
+            raise ValueError("sets must be positive")
+        if self.max_insertion_attempts <= 0:
+            raise ValueError("max_insertion_attempts must be positive")
+
+    @property
+    def capacity(self) -> int:
+        """Total number of entries the slice can hold."""
+        return self.ways * self.sets
+
+    @classmethod
+    def for_provisioning(
+        cls,
+        system: SystemConfig,
+        ways: int,
+        provisioning: float,
+        max_insertion_attempts: int = 32,
+    ) -> "DirectoryConfig":
+        """Build a slice geometry from a provisioning factor.
+
+        The slice capacity is ``provisioning * tracked_frames_per_slice``
+        rounded so that the set count is a power of two (hardware indexing).
+        """
+        if provisioning <= 0:
+            raise ValueError("provisioning must be positive")
+        target = system.tracked_frames_per_slice * provisioning
+        sets = max(1, int(round(target / ways)))
+        # Round to the nearest power of two, matching the paper's geometries.
+        sets = 2 ** max(0, round(math.log2(sets)))
+        return cls(
+            ways=ways,
+            sets=sets,
+            provisioning=provisioning,
+            max_insertion_attempts=max_insertion_attempts,
+        )
+
+
+#: The Shared-L2 16-core configuration of Table 1 (directory tracks L1 I+D).
+SHARED_L2_16CORE = SystemConfig(num_cores=16, tracked_level=CacheLevel.L1)
+
+#: The Private-L2 16-core configuration of Table 1 (directory tracks private L2s).
+PRIVATE_L2_16CORE = SystemConfig(num_cores=16, tracked_level=CacheLevel.L2)
+
+#: Directory event mix measured by the paper (footnote 1, Section 5.6).
+#: Keys are event names, values are fractions of all directory operations.
+PAPER_EVENT_MIX = {
+    "insert_tag": 0.235,
+    "add_sharer": 0.269,
+    "remove_sharer": 0.249,
+    "remove_tag": 0.235,
+    "invalidate_all": 0.012,
+}

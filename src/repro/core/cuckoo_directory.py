@@ -1,0 +1,184 @@
+"""The Cuckoo directory: the paper's proposed coherence directory.
+
+A directory slice whose tag store is a d-ary cuckoo hash table
+(:class:`~repro.core.cuckoo_hash.CuckooHashTable`).  Lookups cost the same
+as a low-associativity set-associative lookup; insertions use displacement
+to avoid victimising live entries, so forced invalidations essentially
+disappear without over-provisioning the capacity (Sections 4 and 5).
+
+Statistics follow the paper's accounting rules (Section 5.2):
+
+* a lookup always precedes an insertion; if it reveals a vacant candidate
+  slot the insertion counts one attempt;
+* adding a sharer to an existing entry does not count as an insertion;
+* entries become free (and reusable) when the last sharer evicts the
+  block;
+* if the bounded insertion walk fails, the most recently displaced entry
+  is discarded and reported as a forced invalidation so the private
+  caches can be kept consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.core.cuckoo_hash import CuckooHashTable, InsertOutcome
+from repro.directories.base import (
+    Directory,
+    Invalidation,
+    LookupResult,
+    UpdateResult,
+)
+from repro.directories.sharers import FullBitVector, SharerSet
+from repro.hashing.base import HashFamily
+
+__all__ = ["CuckooDirectory"]
+
+
+class CuckooDirectory(Directory):
+    """Coherence-directory organization built on a d-ary cuckoo hash table.
+
+    Parameters
+    ----------
+    num_caches:
+        Number of tracked private caches (sharer-set width).
+    num_sets:
+        Entries per way; the paper's chosen designs are 4×512 (Shared-L2)
+        and 3×8192 (Private-L2).
+    num_ways:
+        Number of ways / hash functions (3 or 4 in the paper).
+    hash_family:
+        Indexing functions; defaults to the Seznec–Bodin skewing family.
+    sharer_cls:
+        Sharer-set representation stored in each entry; any of the classes
+        in :mod:`repro.directories.sharers` (the paper pairs the Cuckoo
+        organization with Coarse and Hierarchical encodings at scale).
+    max_insertion_attempts:
+        Bound on the displacement walk (32 in the paper).
+    tag_bits:
+        Stored tag width, used for the bits-read/written accounting.
+    """
+
+    def __init__(
+        self,
+        num_caches: int,
+        num_sets: int,
+        num_ways: int = 4,
+        hash_family: Optional[HashFamily] = None,
+        sharer_cls: Type[SharerSet] = FullBitVector,
+        max_insertion_attempts: int = 32,
+        tag_bits: int = 36,
+        **sharer_kwargs,
+    ) -> None:
+        super().__init__(num_caches)
+        self._table = CuckooHashTable(
+            num_ways=num_ways,
+            num_sets=num_sets,
+            hash_family=hash_family,
+            max_attempts=max_insertion_attempts,
+        )
+        self._sharer_cls = sharer_cls
+        self._sharer_kwargs = sharer_kwargs
+        self._tag_bits = tag_bits
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def num_ways(self) -> int:
+        return self._table.num_ways
+
+    @property
+    def num_sets(self) -> int:
+        return self._table.num_sets
+
+    @property
+    def capacity(self) -> int:
+        return self._table.capacity
+
+    @property
+    def table(self) -> CuckooHashTable:
+        """The underlying cuckoo hash table (exposed for analysis)."""
+        return self._table
+
+    @property
+    def entry_bits(self) -> int:
+        """Width of one directory entry (valid bit + tag + sharer encoding)."""
+        return 1 + self._tag_bits + self._sharer_cls.storage_bits(
+            self._num_caches, **self._sharer_kwargs
+        )
+
+    def entry_count(self) -> int:
+        return len(self._table)
+
+    # -- operations -------------------------------------------------------------
+    def lookup(self, address: int) -> LookupResult:
+        self._stats.lookups += 1
+        # A lookup reads the tags of all ways in parallel plus the matching
+        # entry's sharer bits — the same cost as a set-associative lookup.
+        self._stats.bits_read += self.num_ways * self._tag_bits
+        sharers = self._table.get(address)
+        if sharers is None:
+            self._stats.lookup_misses += 1
+            return LookupResult(found=False)
+        self._stats.lookup_hits += 1
+        self._stats.bits_read += self.entry_bits - self._tag_bits
+        return LookupResult(found=True, sharers=sharers.sharers())
+
+    def add_sharer(self, address: int, cache_id: int) -> UpdateResult:
+        self._check_cache(cache_id)
+        existing = self._table.get(address)
+        if existing is not None:
+            existing.add(cache_id)
+            self._stats.sharer_additions += 1
+            self._stats.bits_written += self.entry_bits - self._tag_bits
+            return UpdateResult(inserted_new_entry=False, attempts=0)
+
+        sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
+        sharers.add(cache_id)
+        result = self._table.insert(address, sharers)
+        self._stats.insertions += 1
+        self._stats.record_attempts(result.attempts)
+        # Every placement of the walk rewrites one entry.
+        self._stats.bits_written += max(1, result.attempts) * self.entry_bits
+
+        invalidations = ()
+        if result.outcome is InsertOutcome.EVICTED_VICTIM:
+            evicted_sharers: SharerSet = result.evicted_value
+            invalidation = Invalidation(
+                address=result.evicted_key, caches=evicted_sharers.sharers()
+            )
+            self._record_forced_invalidation(invalidation)
+            invalidations = (invalidation,)
+        return UpdateResult(
+            inserted_new_entry=True,
+            attempts=result.attempts,
+            invalidations=invalidations,
+        )
+
+    def remove_sharer(self, address: int, cache_id: int) -> None:
+        self._check_cache(cache_id)
+        sharers = self._table.get(address)
+        if sharers is None:
+            return
+        sharers.remove(cache_id)
+        self._stats.sharer_removals += 1
+        self._stats.bits_written += self.entry_bits - self._tag_bits
+        if sharers.is_empty():
+            self._table.remove(address)
+            self._stats.entry_removals += 1
+
+    # -- convenience constructors -------------------------------------------------
+    @classmethod
+    def paper_shared_l2_design(
+        cls, num_caches: int = 32, **kwargs
+    ) -> "CuckooDirectory":
+        """The 4-way × 512-set slice the paper selects for the Shared-L2
+        configuration (Section 5.3)."""
+        return cls(num_caches=num_caches, num_sets=512, num_ways=4, **kwargs)
+
+    @classmethod
+    def paper_private_l2_design(
+        cls, num_caches: int = 16, **kwargs
+    ) -> "CuckooDirectory":
+        """The 3-way × 8192-set slice the paper selects for the Private-L2
+        configuration (Section 5.3)."""
+        return cls(num_caches=num_caches, num_sets=8192, num_ways=3, **kwargs)

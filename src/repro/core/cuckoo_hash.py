@@ -1,0 +1,280 @@
+"""d-ary cuckoo hash table with hardware-style displacement insertion.
+
+This is the data structure at the heart of the Cuckoo directory
+(Section 4).  It follows the d-ary generalisation of cuckoo hashing
+[Fotakis et al. '03] with the specific hardware policies the paper
+describes:
+
+* **Lookup** probes all ``d`` ways in parallel (each way is a
+  direct-mapped array indexed by its own hash function), exactly like a
+  skewed-associative lookup.
+* **Insertion** first uses the lookup to find a vacant candidate slot; if
+  one exists the entry is written there and the insertion counts **one
+  attempt**.  Otherwise the entry is written over one of its candidates,
+  and the displaced victim is re-inserted into one of *its* alternate
+  ways, iterating until some displaced entry lands in a vacant slot.
+  Every placement counts as one attempt.
+* **Bounded walk**: the number of attempts is capped (32 in the paper's
+  evaluation).  If the cap is reached, the procedure stops and the most
+  recently displaced entry is *evicted* from the table; the directory
+  layer turns that into a forced invalidation.
+* **Round-robin start way**: each insertion's walk starts at the way
+  where the previous insertion stopped, keeping the ways uniformly
+  filled (Section 4.2).
+
+The table maps integer keys (block addresses) to arbitrary values
+(sharer sets in the directory; ``None`` in the raw hash-characterisation
+experiments of Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.hashing.base import HashFamily
+from repro.hashing.skewing import SkewingHashFamily
+
+__all__ = ["InsertOutcome", "InsertResult", "CuckooHashTable"]
+
+
+class InsertOutcome(str, Enum):
+    """How an insertion terminated."""
+
+    INSERTED = "inserted"          #: placed without evicting anything
+    UPDATED = "updated"            #: key already present, value replaced
+    EVICTED_VICTIM = "evicted"     #: placed, but the walk was cut off and a
+    #: previously stored entry was thrown out of the table
+
+
+@dataclass(frozen=True)
+class InsertResult:
+    """Outcome of one insertion."""
+
+    outcome: InsertOutcome
+    attempts: int
+    evicted_key: Optional[int] = None
+    evicted_value: Any = None
+
+    @property
+    def success(self) -> bool:
+        """True when no stored entry was lost."""
+        return self.outcome is not InsertOutcome.EVICTED_VICTIM
+
+    @property
+    def evicted(self) -> bool:
+        return self.outcome is InsertOutcome.EVICTED_VICTIM
+
+
+class _Slot:
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: int, value: Any) -> None:
+        self.key = key
+        self.value = value
+
+
+class CuckooHashTable:
+    """A d-ary cuckoo hash table over integer keys.
+
+    Parameters
+    ----------
+    num_ways:
+        Number of direct-mapped ways (``d``); the paper uses 3 or 4.
+    num_sets:
+        Entries per way; total capacity is ``num_ways * num_sets``.
+    hash_family:
+        One hash function per way.  Defaults to the Seznec–Bodin skewing
+        family, the paper's default; pass a
+        :class:`~repro.hashing.strong.StrongHashFamily` to reproduce the
+        "cryptographic hash" experiments.
+    max_attempts:
+        Insertion-walk bound (32 in the paper's evaluation).
+    """
+
+    def __init__(
+        self,
+        num_ways: int,
+        num_sets: int,
+        hash_family: Optional[HashFamily] = None,
+        max_attempts: int = 32,
+    ) -> None:
+        if num_ways < 2:
+            raise ValueError("a cuckoo hash needs at least 2 ways")
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        if max_attempts <= 0:
+            raise ValueError("max_attempts must be positive")
+        self._num_ways = num_ways
+        self._num_sets = num_sets
+        self._max_attempts = max_attempts
+        self._hashes = hash_family or SkewingHashFamily(num_ways, num_sets)
+        if self._hashes.num_ways != num_ways or self._hashes.num_sets != num_sets:
+            raise ValueError("hash family geometry does not match the table")
+        self._ways: List[List[Optional[_Slot]]] = [
+            [None] * num_sets for _ in range(num_ways)
+        ]
+        self._size = 0
+        self._start_way = 0
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def num_ways(self) -> int:
+        return self._num_ways
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def capacity(self) -> int:
+        return self._num_ways * self._num_sets
+
+    @property
+    def max_attempts(self) -> int:
+        return self._max_attempts
+
+    @property
+    def hash_family(self) -> HashFamily:
+        return self._hashes
+
+    def occupancy(self) -> float:
+        return self._size / self.capacity if self.capacity else 0.0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- lookup ---------------------------------------------------------------
+    def candidate_slots(self, key: int) -> List[Tuple[int, int]]:
+        """The ``(way, index)`` candidates of ``key``, one per way."""
+        return [(way, self._hashes.index(way, key)) for way in range(self._num_ways)]
+
+    def find(self, key: int) -> Optional[Tuple[int, int]]:
+        """Locate ``key``; returns its ``(way, index)`` or ``None``."""
+        for way, index in self.candidate_slots(key):
+            slot = self._ways[way][index]
+            if slot is not None and slot.key == key:
+                return way, index
+        return None
+
+    def get(self, key: int, default: Any = None) -> Any:
+        location = self.find(key)
+        if location is None:
+            return default
+        way, index = location
+        slot = self._ways[way][index]
+        assert slot is not None
+        return slot.value
+
+    def __contains__(self, key: int) -> bool:
+        return self.find(key) is not None
+
+    def items(self) -> Iterator[Tuple[int, Any]]:
+        """All stored ``(key, value)`` pairs (iteration order unspecified)."""
+        for way in self._ways:
+            for slot in way:
+                if slot is not None:
+                    yield slot.key, slot.value
+
+    def keys(self) -> Iterator[int]:
+        for key, _ in self.items():
+            yield key
+
+    # -- mutation ---------------------------------------------------------------
+    def insert(self, key: int, value: Any = None) -> InsertResult:
+        """Insert ``key``; returns how the walk terminated and how many attempts it took.
+
+        Inserting a key that is already present replaces its value and
+        counts zero attempts (the directory's add-sharer path never reaches
+        this method for existing entries, but the table stays well defined
+        as a standalone container).
+        """
+        existing = self.find(key)
+        if existing is not None:
+            way, index = existing
+            slot = self._ways[way][index]
+            assert slot is not None
+            slot.value = value
+            return InsertResult(outcome=InsertOutcome.UPDATED, attempts=0)
+
+        # The lookup that preceded the insertion has already revealed whether a
+        # vacant candidate slot exists; writing into it is the single attempt.
+        vacant = self._first_vacant_candidate(key)
+        if vacant is not None:
+            way, index = vacant
+            self._ways[way][index] = _Slot(key, value)
+            self._size += 1
+            self._start_way = way
+            return InsertResult(outcome=InsertOutcome.INSERTED, attempts=1)
+
+        # All candidates are occupied: displacement walk.
+        current = _Slot(key, value)
+        way = self._start_way
+        attempts = 0
+        while attempts < self._max_attempts:
+            attempts += 1
+            index = self._hashes.index(way, current.key)
+            victim = self._ways[way][index]
+            self._ways[way][index] = current
+            if victim is None:
+                self._size += 1
+                self._start_way = way
+                return InsertResult(outcome=InsertOutcome.INSERTED, attempts=attempts)
+            current = victim
+            way = (way + 1) % self._num_ways
+
+        # Walk cut off: the most recently displaced entry is discarded.  The
+        # new key itself has been written into the table (self._size is
+        # unchanged: one entry in, one entry out).
+        self._start_way = way
+        return InsertResult(
+            outcome=InsertOutcome.EVICTED_VICTIM,
+            attempts=attempts,
+            evicted_key=current.key,
+            evicted_value=current.value,
+        )
+
+    def remove(self, key: int) -> bool:
+        """Remove ``key``; returns ``True`` if it was present."""
+        location = self.find(key)
+        if location is None:
+            return False
+        way, index = location
+        self._ways[way][index] = None
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        for way in self._ways:
+            for index in range(self._num_sets):
+                way[index] = None
+        self._size = 0
+        self._start_way = 0
+
+    # -- diagnostics ---------------------------------------------------------
+    def way_occupancies(self) -> List[float]:
+        """Per-way fill fraction (the round-robin start keeps these balanced)."""
+        return [
+            sum(1 for slot in way if slot is not None) / self._num_sets
+            for way in self._ways
+        ]
+
+    def has_vacant_candidate(self, key: int) -> bool:
+        return self._first_vacant_candidate(key) is not None
+
+    # -- internals ------------------------------------------------------------
+    def _first_vacant_candidate(self, key: int) -> Optional[Tuple[int, int]]:
+        """Scan the candidate slots starting at the round-robin way."""
+        for offset in range(self._num_ways):
+            way = (self._start_way + offset) % self._num_ways
+            index = self._hashes.index(way, key)
+            if self._ways[way][index] is None:
+                return way, index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CuckooHashTable(ways={self._num_ways}, sets={self._num_sets}, "
+            f"size={self._size}, occupancy={self.occupancy():.2f})"
+        )

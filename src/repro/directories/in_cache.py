@@ -1,0 +1,77 @@
+"""In-cache coherence directory.
+
+The in-cache organization extends every tag of an inclusive shared cache
+with a sharer vector (Section 3.2).  Tag storage comes for free (the L2
+already has tags) but the sharer storage is grossly over-provisioned: the
+shared cache has far more tags than there are privately cached blocks, so
+most vectors sit empty.  It also only applies to the Shared-L2
+configuration — private L2s cannot be inclusive of each other.
+
+Functionally the structure behaves like a Sparse directory whose geometry
+equals the shared-cache slice (its sets × ways), with the additional
+constraint that evicting a shared-cache block forces invalidation of the
+tracked private copies (inclusion victims).
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.config import CacheConfig
+from repro.directories.sparse import SparseDirectory
+from repro.directories.sharers import FullBitVector, SharerSet
+
+__all__ = ["InCacheDirectory"]
+
+
+class InCacheDirectory(SparseDirectory):
+    """Directory embedded in the inclusive shared-L2 tags.
+
+    Parameters
+    ----------
+    num_caches:
+        Number of tracked private caches.
+    l2_slice_config:
+        Geometry of the shared-L2 slice this directory piggybacks on.  The
+        directory has exactly one entry per L2 frame.
+    num_slices:
+        Number of address-interleaved L2 banks; each bank holds
+        ``l2 sets / num_slices`` sets of the aggregate shared cache.
+    """
+
+    def __init__(
+        self,
+        num_caches: int,
+        l2_slice_config: CacheConfig,
+        num_slices: int = 1,
+        sharer_cls: Type[SharerSet] = FullBitVector,
+        tag_bits: int = 36,
+        **sharer_kwargs,
+    ) -> None:
+        if num_slices <= 0:
+            raise ValueError("num_slices must be positive")
+        sets_per_slice = max(1, l2_slice_config.num_sets // num_slices)
+        super().__init__(
+            num_caches=num_caches,
+            num_sets=sets_per_slice,
+            num_ways=l2_slice_config.associativity,
+            sharer_cls=sharer_cls,
+            tag_bits=tag_bits,
+            **sharer_kwargs,
+        )
+        self._l2_slice_config = l2_slice_config
+        self._num_slices = num_slices
+
+    @property
+    def l2_slice_config(self) -> CacheConfig:
+        return self._l2_slice_config
+
+    @property
+    def tag_storage_is_free(self) -> bool:
+        """The L2 already stores the tags; only the sharer bits are added."""
+        return True
+
+    @property
+    def added_bits_per_entry(self) -> int:
+        """Bits this organization adds to each L2 tag (sharer vector only)."""
+        return self._sharer_cls.storage_bits(self._num_caches, **self._sharer_kwargs)

@@ -1,0 +1,333 @@
+"""Sharer-set representations.
+
+A directory entry must record *which* private caches hold a block.  The
+paper (Sections 3.2, 3.3 and 5.6) considers several encodings whose storage
+and access cost differ dramatically as the number of caches grows:
+
+* **Full bit vector** — one presence bit per cache; exact, but the entry
+  width grows linearly with the cache count.
+* **Coarse vector** — the SGI-Origin style scheme [Gupta et al. '90,
+  Laudon & Lenoski '97]: a few exact pointers that fall back to a
+  coarse-grained region vector on overflow.  Entry width grows only
+  logarithmically (the paper budgets ``2*log2(#caches)`` bits).
+* **Limited pointers** — a fixed number of exact pointers with a
+  broadcast fallback on overflow.
+* **Hierarchical vector** — a first-level coarse vector over groups plus
+  second-level exact sub-vectors, modelling the two-level organizations
+  of Wallach and Guo et al.
+
+All representations implement :class:`SharerSet`.  ``sharers()`` returns
+the set of caches that must receive an invalidation; inexact encodings
+return a superset of the true sharers (never a subset), which preserves
+coherence correctness at the cost of extra invalidation traffic.  Each
+class also reports its storage width so the energy/area model can cost
+directory entries without duplicating encoding rules.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import FrozenSet, Iterable, Iterator, List, Set
+
+__all__ = [
+    "SharerSet",
+    "FullBitVector",
+    "CoarseVector",
+    "LimitedPointer",
+    "HierarchicalVector",
+    "sharer_format",
+]
+
+
+def _ceil_log2(value: int) -> int:
+    return max(1, math.ceil(math.log2(value))) if value > 1 else 1
+
+
+class SharerSet(abc.ABC):
+    """Abstract sharer-set representation for one directory entry."""
+
+    def __init__(self, num_caches: int) -> None:
+        if num_caches <= 0:
+            raise ValueError("num_caches must be positive")
+        self._num_caches = num_caches
+        self._members: Set[int] = set()
+
+    # -- core mutation -----------------------------------------------------
+    def add(self, cache_id: int) -> None:
+        """Record that ``cache_id`` holds the block."""
+        self._check_cache(cache_id)
+        self._members.add(cache_id)
+        self._on_change()
+
+    def remove(self, cache_id: int) -> None:
+        """Record that ``cache_id`` no longer holds the block.
+
+        Removing a cache that is not a member is a no-op, matching the
+        behaviour of hardware directories that receive redundant eviction
+        notifications.
+        """
+        self._check_cache(cache_id)
+        self._members.discard(cache_id)
+        self._on_change()
+
+    def clear(self) -> None:
+        """Drop all sharers (entry invalidated)."""
+        self._members.clear()
+        self._on_change()
+
+    # -- queries -----------------------------------------------------------
+    def exact_sharers(self) -> FrozenSet[int]:
+        """The true sharers (ground truth kept for bookkeeping)."""
+        return frozenset(self._members)
+
+    @abc.abstractmethod
+    def sharers(self) -> FrozenSet[int]:
+        """Caches that must receive an invalidation.
+
+        Exact encodings return exactly the members; inexact encodings may
+        return a superset but never omit a member.
+        """
+
+    def is_empty(self) -> bool:
+        return not self._members
+
+    def count(self) -> int:
+        """Number of true sharers."""
+        return len(self._members)
+
+    def contains(self, cache_id: int) -> bool:
+        self._check_cache(cache_id)
+        return cache_id in self._members
+
+    @property
+    def num_caches(self) -> int:
+        return self._num_caches
+
+    @property
+    def is_exact(self) -> bool:
+        """True when ``sharers()`` equals the true sharer set."""
+        return self.sharers() == self.exact_sharers()
+
+    def spurious_invalidations(self) -> int:
+        """Number of non-sharers that would receive an invalidation."""
+        return len(self.sharers() - self.exact_sharers())
+
+    # -- storage accounting (used by the energy/area model) -----------------
+    @classmethod
+    @abc.abstractmethod
+    def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
+        """Entry width in bits for a system with ``num_caches`` caches."""
+
+    # -- helpers -------------------------------------------------------------
+    def _on_change(self) -> None:
+        """Hook for subclasses that maintain encoded state."""
+
+    def _check_cache(self, cache_id: int) -> None:
+        if not 0 <= cache_id < self._num_caches:
+            raise IndexError(
+                f"cache id {cache_id} out of range [0, {self._num_caches})"
+            )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ids = ",".join(str(i) for i in sorted(self._members))
+        return f"{type(self).__name__}«{ids}»"
+
+
+class FullBitVector(SharerSet):
+    """Exact full bit-vector: one presence bit per cache."""
+
+    def sharers(self) -> FrozenSet[int]:
+        return frozenset(self._members)
+
+    def as_bits(self) -> List[int]:
+        """The presence bit vector, LSB = cache 0 (useful for tests)."""
+        return [1 if i in self._members else 0 for i in range(self._num_caches)]
+
+    @classmethod
+    def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
+        return num_caches
+
+
+class CoarseVector(SharerSet):
+    """Exact-pointer representation with coarse-vector overflow.
+
+    The entry holds ``num_pointers`` exact cache pointers.  When more
+    caches share the block than fit in the pointers, the representation
+    switches to a coarse bit vector where each bit covers
+    ``region_size = num_caches / vector_bits`` caches, as in the SGI
+    Origin's DIR-format fallback.  The paper's "Sparse Coarse" and
+    "Cuckoo Coarse" designs budget ``2 * log2(num_caches)`` bits per entry,
+    which is the default geometry here.
+    """
+
+    def __init__(
+        self,
+        num_caches: int,
+        num_pointers: int | None = None,
+        vector_bits: int | None = None,
+    ) -> None:
+        super().__init__(num_caches)
+        pointer_bits = _ceil_log2(num_caches)
+        if num_pointers is None:
+            num_pointers = 2
+        if vector_bits is None:
+            vector_bits = max(1, min(num_caches, num_pointers * pointer_bits))
+        if num_pointers <= 0:
+            raise ValueError("num_pointers must be positive")
+        if vector_bits <= 0:
+            raise ValueError("vector_bits must be positive")
+        self._num_pointers = num_pointers
+        self._vector_bits = min(vector_bits, num_caches)
+        self._region_size = math.ceil(num_caches / self._vector_bits)
+
+    @property
+    def num_pointers(self) -> int:
+        return self._num_pointers
+
+    @property
+    def region_size(self) -> int:
+        return self._region_size
+
+    @property
+    def is_coarse(self) -> bool:
+        """Whether the entry has overflowed into the coarse encoding."""
+        return len(self._members) > self._num_pointers
+
+    def sharers(self) -> FrozenSet[int]:
+        if not self.is_coarse:
+            return frozenset(self._members)
+        covered: Set[int] = set()
+        for cache_id in self._members:
+            region = cache_id // self._region_size
+            start = region * self._region_size
+            covered.update(
+                range(start, min(start + self._region_size, self._num_caches))
+            )
+        return frozenset(covered)
+
+    @classmethod
+    def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
+        """Default budget: two exact pointers, i.e. ``2*log2(num_caches)`` bits."""
+        num_pointers = kwargs.get("num_pointers", 2)
+        return num_pointers * _ceil_log2(num_caches)
+
+
+class LimitedPointer(SharerSet):
+    """Limited-pointer representation with broadcast overflow (Dir-i-B)."""
+
+    def __init__(self, num_caches: int, num_pointers: int = 4) -> None:
+        super().__init__(num_caches)
+        if num_pointers <= 0:
+            raise ValueError("num_pointers must be positive")
+        self._num_pointers = num_pointers
+
+    @property
+    def num_pointers(self) -> int:
+        return self._num_pointers
+
+    @property
+    def is_broadcast(self) -> bool:
+        return len(self._members) > self._num_pointers
+
+    def sharers(self) -> FrozenSet[int]:
+        if self.is_broadcast:
+            return frozenset(range(self._num_caches))
+        return frozenset(self._members)
+
+    @classmethod
+    def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
+        num_pointers = kwargs.get("num_pointers", 4)
+        # One overflow ("broadcast") bit plus the pointers themselves.
+        return 1 + num_pointers * _ceil_log2(num_caches)
+
+
+class HierarchicalVector(SharerSet):
+    """Two-level hierarchical sharer vector.
+
+    The first level is a bit vector over ``num_groups`` groups of caches;
+    each set first-level bit conceptually points at a second-level exact
+    sub-vector over the caches of that group.  The invalidation target set
+    is exact (both levels together identify the precise sharers); the
+    storage saving comes from allocating second-level vectors only for
+    groups that actually contain sharers, at the cost of replicating the
+    tag for each allocated second-level entry — which the energy/area
+    model accounts for separately.
+    """
+
+    def __init__(self, num_caches: int, num_groups: int | None = None) -> None:
+        super().__init__(num_caches)
+        if num_groups is None:
+            num_groups = max(1, int(round(math.sqrt(num_caches))))
+        if num_groups <= 0:
+            raise ValueError("num_groups must be positive")
+        self._num_groups = min(num_groups, num_caches)
+        self._group_size = math.ceil(num_caches / self._num_groups)
+
+    @property
+    def num_groups(self) -> int:
+        return self._num_groups
+
+    @property
+    def group_size(self) -> int:
+        return self._group_size
+
+    def groups_in_use(self) -> FrozenSet[int]:
+        """First-level groups that currently contain at least one sharer."""
+        return frozenset(cache_id // self._group_size for cache_id in self._members)
+
+    def sharers(self) -> FrozenSet[int]:
+        return frozenset(self._members)
+
+    @classmethod
+    def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
+        """First-level group vector plus one second-level sub-vector.
+
+        This is the per-entry width of the primary directory entry; the
+        extra replicated-tag cost of additional second-level entries is
+        modelled in :mod:`repro.energy`.
+        """
+        num_groups = kwargs.get(
+            "num_groups", max(1, int(round(math.sqrt(num_caches))))
+        )
+        group_size = math.ceil(num_caches / num_groups)
+        return num_groups + group_size
+
+    @classmethod
+    def second_level_bits(cls, num_caches: int, **kwargs: int) -> int:
+        """Width of one second-level sub-vector."""
+        num_groups = kwargs.get(
+            "num_groups", max(1, int(round(math.sqrt(num_caches))))
+        )
+        return math.ceil(num_caches / num_groups)
+
+
+_FORMATS = {
+    "full": FullBitVector,
+    "coarse": CoarseVector,
+    "limited": LimitedPointer,
+    "hierarchical": HierarchicalVector,
+}
+
+
+def sharer_format(name: str):
+    """Look up a sharer-set class by its short name.
+
+    Valid names: ``full``, ``coarse``, ``limited``, ``hierarchical``.
+    """
+    try:
+        return _FORMATS[name]
+    except KeyError:
+        valid = ", ".join(sorted(_FORMATS))
+        raise ValueError(f"unknown sharer format {name!r}; expected one of {valid}")
+
+
+def make_sharer_set(name: str, num_caches: int, **kwargs: int) -> SharerSet:
+    """Instantiate a sharer set by format name."""
+    return sharer_format(name)(num_caches, **kwargs)

@@ -1,0 +1,200 @@
+"""Tagless coherence directory (Zebchuk et al., MICRO '09).
+
+The Tagless directory replaces per-block tags with a *grid of Bloom
+filters*: the directory is organised into buckets indexed like the private
+cache sets, and each bucket holds one Bloom filter per tracked cache
+summarising the tags that cache holds in the corresponding set.  A lookup
+tests the block against every cache's filter and returns the caches whose
+filters report membership — a strict superset of the true sharers, which
+preserves correctness at the cost of spurious invalidation messages.
+
+Because filters never overflow, the Tagless directory performs no forced
+invalidations; its weakness, which Figures 4 and 13 expose, is that both
+lookup and update touch one filter per cache, so energy per operation
+grows linearly with the core count (quadratically in aggregate).
+
+This implementation uses *counting* Bloom filters internally so sharer
+removal (cache evictions) works without the periodic rebuilds the hardware
+proposal uses; the membership answer (and therefore the false-positive
+behaviour) is the same as for a plain Bloom filter with the same geometry.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.config import CacheConfig
+from repro.directories.base import Directory, LookupResult, UpdateResult
+from repro.hashing.strong import mix64
+
+__all__ = ["TaglessDirectory"]
+
+
+class TaglessDirectory(Directory):
+    """Bloom-filter-grid directory with per-cache, per-bucket filters.
+
+    Parameters
+    ----------
+    num_caches:
+        Number of tracked private caches.
+    cache_config:
+        Geometry of each tracked cache; buckets mirror its set count
+        (divided across ``num_slices`` address-interleaved slices).
+    filter_bits:
+        Bits per Bloom filter (per cache, per bucket).
+    num_hashes:
+        Hash functions per filter.
+    num_slices:
+        Address-interleaved slices the aggregate directory is split into.
+    """
+
+    def __init__(
+        self,
+        num_caches: int,
+        cache_config: CacheConfig,
+        filter_bits: int = 64,
+        num_hashes: int = 2,
+        num_slices: int = 1,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(num_caches)
+        if filter_bits <= 0:
+            raise ValueError("filter_bits must be positive")
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        if num_slices <= 0:
+            raise ValueError("num_slices must be positive")
+        self._cache_config = cache_config
+        self._num_buckets = max(1, cache_config.num_sets // num_slices)
+        self._filter_bits = filter_bits
+        self._num_hashes = num_hashes
+        self._seed = seed
+        # counters[bucket, cache, bit] -> small saturating counter.
+        self._counters = np.zeros(
+            (self._num_buckets, num_caches, filter_bits), dtype=np.int32
+        )
+        # Exact membership kept alongside for occupancy accounting and to make
+        # removals exact; the *reported* sharers still come from the filters.
+        self._exact: List[List[set]] = [
+            [set() for _ in range(num_caches)] for _ in range(self._num_buckets)
+        ]
+
+    # -- geometry -----------------------------------------------------------
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    @property
+    def filter_bits(self) -> int:
+        return self._filter_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self._num_hashes
+
+    @property
+    def capacity(self) -> int:
+        """Worst-case number of blocks trackable: one per tracked cache frame."""
+        return self._num_buckets * self._num_caches * self._cache_config.associativity
+
+    @property
+    def bits_per_lookup(self) -> int:
+        """Bits read per lookup: k probe bits in every cache's filter."""
+        return self._num_caches * self._num_hashes
+
+    @property
+    def bits_per_update(self) -> int:
+        """Bits written per update: k bits in a single cache's filter."""
+        return self._num_hashes
+
+    def entry_count(self) -> int:
+        return sum(
+            len(members)
+            for bucket in self._exact
+            for members in bucket
+        )
+
+    def bucket_index(self, address: int) -> int:
+        return address % self._num_buckets
+
+    # -- operations -------------------------------------------------------------
+    def lookup(self, address: int) -> LookupResult:
+        self._stats.lookups += 1
+        self._stats.bits_read += self.bits_per_lookup
+        bucket = self.bucket_index(address)
+        bit_positions = self._bit_positions(address)
+        sharers = frozenset(
+            cache_id
+            for cache_id in range(self._num_caches)
+            if all(
+                self._counters[bucket, cache_id, bit] > 0 for bit in bit_positions
+            )
+        )
+        if sharers:
+            self._stats.lookup_hits += 1
+            return LookupResult(found=True, sharers=sharers)
+        self._stats.lookup_misses += 1
+        return LookupResult(found=False)
+
+    def add_sharer(self, address: int, cache_id: int) -> UpdateResult:
+        self._check_cache(cache_id)
+        bucket = self.bucket_index(address)
+        members = self._exact[bucket][cache_id]
+        if address in members:
+            self._stats.sharer_additions += 1
+            return UpdateResult(inserted_new_entry=False, attempts=0)
+
+        already_tracked = any(
+            address in self._exact[bucket][other] for other in range(self._num_caches)
+        )
+        for bit in self._bit_positions(address):
+            self._counters[bucket, cache_id, bit] += 1
+        members.add(address)
+        self._stats.bits_written += self.bits_per_update
+        if already_tracked:
+            self._stats.sharer_additions += 1
+            return UpdateResult(inserted_new_entry=False, attempts=0)
+        self._stats.insertions += 1
+        self._stats.record_attempts(1)
+        return UpdateResult(inserted_new_entry=True, attempts=1)
+
+    def remove_sharer(self, address: int, cache_id: int) -> None:
+        self._check_cache(cache_id)
+        bucket = self.bucket_index(address)
+        members = self._exact[bucket][cache_id]
+        if address not in members:
+            return
+        for bit in self._bit_positions(address):
+            self._counters[bucket, cache_id, bit] -= 1
+        members.remove(address)
+        self._stats.sharer_removals += 1
+        self._stats.bits_written += self.bits_per_update
+        still_tracked = any(
+            address in self._exact[bucket][other] for other in range(self._num_caches)
+        )
+        if not still_tracked:
+            self._stats.entry_removals += 1
+
+    # -- diagnostics ---------------------------------------------------------
+    def false_positive_sharers(self, address: int) -> int:
+        """Number of caches the filters implicate that do not hold the block."""
+        bucket = self.bucket_index(address)
+        bit_positions = self._bit_positions(address)
+        spurious = 0
+        for cache_id in range(self._num_caches):
+            reported = all(
+                self._counters[bucket, cache_id, bit] > 0 for bit in bit_positions
+            )
+            if reported and address not in self._exact[bucket][cache_id]:
+                spurious += 1
+        return spurious
+
+    # -- helpers ---------------------------------------------------------------
+    def _bit_positions(self, address: int) -> List[int]:
+        positions = []
+        for k in range(self._num_hashes):
+            mixed = mix64(address ^ mix64(self._seed + k + 1))
+            positions.append(mixed % self._filter_bits)
+        return positions

@@ -1,0 +1,53 @@
+"""Analytical energy and area model for coherence directories.
+
+Figures 4 and 13 of the paper are analytical projections: for each
+directory organization they plot, per core and per directory slice, the
+energy of an average directory operation (relative to a 1 MB 16-way L2
+tag lookup) and the storage area (relative to a 1 MB L2 data array) as
+the core count grows from 16 to 1024.
+
+This package reproduces those projections.  :mod:`repro.energy.sram`
+provides first-order SRAM/CAM access-energy and area primitives plus the
+two normalisation references; :mod:`repro.energy.model` encodes, for every
+organization, how many bits each operation activates and how many bits the
+slice stores, as a function of the core count — which is all the paper's
+scaling argument depends on.
+"""
+
+from repro.energy.model import (
+    DirectoryEnergyAreaModel,
+    ScalingScenario,
+    ORGANIZATIONS,
+    organization_names,
+    relative_area,
+    relative_energy,
+    scaling_table,
+)
+from repro.energy.sram import (
+    SramParameters,
+    cam_area,
+    cam_search_energy,
+    l2_data_array_area,
+    l2_tag_lookup_energy,
+    sram_area,
+    sram_read_energy,
+    sram_write_energy,
+)
+
+__all__ = [
+    "DirectoryEnergyAreaModel",
+    "ScalingScenario",
+    "ORGANIZATIONS",
+    "organization_names",
+    "relative_energy",
+    "relative_area",
+    "scaling_table",
+    "SramParameters",
+    "sram_read_energy",
+    "sram_write_energy",
+    "cam_search_energy",
+    "sram_area",
+    "cam_area",
+    "l2_tag_lookup_energy",
+    "l2_data_array_area",
+]

@@ -1,0 +1,117 @@
+"""First-order SRAM/CAM energy and area primitives.
+
+The paper's scaling comparison does not depend on absolute joules or
+square millimetres — every curve is normalised to the energy of a 1 MB
+16-way L2 tag lookup (Figures 4/13 top) or to the area of a 1 MB L2 data
+array (Figures 4/13 bottom).  What the comparison *does* depend on is how
+the number of bits an operation activates, and the number of bits a
+structure stores, scale with core count.
+
+The primitives here therefore use a deliberately simple, auditable model:
+
+* dynamic read/write energy is proportional to the number of bits
+  activated by the access (a CACTI-style constant per bit, with writes
+  slightly more expensive than reads);
+* CAM/associative search energy is proportional to the number of bits
+  *searched*, with a higher per-bit constant because every searched bit
+  drives a match line;
+* area is proportional to the number of bits stored, with CAM bits
+  costing roughly twice the area of SRAM bits (the standard 9T-vs-6T
+  overhead plus match lines).
+
+All constants are collected in :class:`SramParameters` so sensitivity
+studies can tweak them; the defaults keep the ratios the architecture
+community commonly quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import CacheConfig
+
+__all__ = [
+    "SramParameters",
+    "sram_read_energy",
+    "sram_write_energy",
+    "cam_search_energy",
+    "sram_area",
+    "cam_area",
+    "l2_tag_lookup_energy",
+    "l2_data_array_area",
+]
+
+
+@dataclass(frozen=True)
+class SramParameters:
+    """Per-bit energy and area constants (arbitrary but consistent units)."""
+
+    read_energy_per_bit: float = 1.0
+    write_energy_per_bit: float = 1.2
+    cam_search_energy_per_bit: float = 2.0
+    sram_area_per_bit: float = 1.0
+    cam_area_per_bit: float = 2.0
+    #: Fixed per-access overhead (decoder + wordline) expressed as an
+    #: equivalent number of bit-reads; keeps tiny accesses from looking free.
+    access_overhead_bits: float = 16.0
+
+
+DEFAULT_PARAMETERS = SramParameters()
+
+
+def sram_read_energy(bits_activated: float, params: SramParameters = DEFAULT_PARAMETERS) -> float:
+    """Energy of reading ``bits_activated`` bits from an SRAM array."""
+    if bits_activated < 0:
+        raise ValueError("bits_activated must be non-negative")
+    return params.read_energy_per_bit * (bits_activated + params.access_overhead_bits)
+
+
+def sram_write_energy(bits_activated: float, params: SramParameters = DEFAULT_PARAMETERS) -> float:
+    """Energy of writing ``bits_activated`` bits into an SRAM array."""
+    if bits_activated < 0:
+        raise ValueError("bits_activated must be non-negative")
+    return params.write_energy_per_bit * (bits_activated + params.access_overhead_bits)
+
+
+def cam_search_energy(bits_searched: float, params: SramParameters = DEFAULT_PARAMETERS) -> float:
+    """Energy of an associative search over ``bits_searched`` bits."""
+    if bits_searched < 0:
+        raise ValueError("bits_searched must be non-negative")
+    return params.cam_search_energy_per_bit * (
+        bits_searched + params.access_overhead_bits
+    )
+
+
+def sram_area(bits_stored: float, params: SramParameters = DEFAULT_PARAMETERS) -> float:
+    """Area of an SRAM array storing ``bits_stored`` bits."""
+    if bits_stored < 0:
+        raise ValueError("bits_stored must be non-negative")
+    return params.sram_area_per_bit * bits_stored
+
+
+def cam_area(bits_stored: float, params: SramParameters = DEFAULT_PARAMETERS) -> float:
+    """Area of a CAM array storing ``bits_stored`` searchable bits."""
+    if bits_stored < 0:
+        raise ValueError("bits_stored must be non-negative")
+    return params.cam_area_per_bit * bits_stored
+
+
+def l2_tag_lookup_energy(
+    l2_config: CacheConfig,
+    address_bits: int = 48,
+    params: SramParameters = DEFAULT_PARAMETERS,
+) -> float:
+    """Energy of one lookup in the reference 1 MB 16-way L2 tag array.
+
+    A set-associative tag lookup activates the tags (plus a couple of
+    state bits) of every way of the indexed set.
+    """
+    tag_bits = l2_config.tag_bits(address_bits) + 2
+    return sram_read_energy(l2_config.associativity * tag_bits, params)
+
+
+def l2_data_array_area(
+    l2_config: CacheConfig, params: SramParameters = DEFAULT_PARAMETERS
+) -> float:
+    """Area of the reference 1 MB L2 data array."""
+    return sram_area(l2_config.size_bytes * 8, params)

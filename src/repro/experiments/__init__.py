@@ -1,0 +1,45 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Every module exposes a ``run(...)`` function returning a plain result
+object (dataclass or dict of series) and a ``format_table(result)``
+function that renders it as the rows the paper plots.  The benchmark
+harnesses in ``benchmarks/`` and the examples in ``examples/`` are thin
+wrappers around these drivers.
+
+=====================  ====================================================
+Module                 Paper artefact
+=====================  ====================================================
+``fig04_scalability``  Figure 4 — area/energy scalability of the baselines
+``fig07_hash``         Figure 7 — d-ary cuckoo hash characteristics
+``fig08_occupancy``    Figure 8 — average directory occupancy per workload
+``fig09_provisioning`` Figure 9 — insertion attempts / failures vs. sizing
+``fig10_attempts``     Figure 10 — average insertion attempts per workload
+``fig11_worst_case``   Figure 11 — worst-case insertion-attempt distribution
+``fig12_invalidations`` Figure 12 — forced-invalidation rate comparison
+``fig13_power_area``   Figure 13 — power/area comparison to 1024 cores
+=====================  ====================================================
+"""
+
+from repro.experiments import common
+from repro.experiments.ablation_hash_functions import run as run_hash_ablation
+from repro.experiments.fig04_scalability import run as run_fig04
+from repro.experiments.fig07_hash_characteristics import run as run_fig07
+from repro.experiments.fig08_occupancy import run as run_fig08
+from repro.experiments.fig09_provisioning import run as run_fig09
+from repro.experiments.fig10_insertion_attempts import run as run_fig10
+from repro.experiments.fig11_worst_case import run as run_fig11
+from repro.experiments.fig12_invalidations import run as run_fig12
+from repro.experiments.fig13_power_area import run as run_fig13
+
+__all__ = [
+    "common",
+    "run_hash_ablation",
+    "run_fig04",
+    "run_fig07",
+    "run_fig08",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+]

@@ -1,0 +1,88 @@
+"""Figure 4 — area and energy scalability of the baseline organizations.
+
+Analytical projection of the per-core energy (relative to a 1 MB L2 tag
+lookup) and per-core area (relative to a 1 MB L2 data array) of the
+baseline directory organizations — Duplicate-Tag, Tagless, Sparse 8x
+In-Cache, Sparse 8x Hierarchical and Sparse 8x Coarse — as the core count
+grows from 16 to 1024.  The projection for the Cuckoo variants is part of
+Figure 13 (:mod:`repro.experiments.fig13_power_area`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_percentage, render_table
+from repro.energy.model import (
+    FIGURE4_ORGANIZATIONS,
+    ScalingScenario,
+    scaling_table,
+)
+
+__all__ = ["ScalabilityResult", "run", "format_table", "DEFAULT_CORE_COUNTS"]
+
+DEFAULT_CORE_COUNTS = (16, 32, 64, 128, 256, 512, 1024)
+
+
+@dataclass
+class ScalabilityResult:
+    """Normalised energy/area series per organization for one scenario."""
+
+    scenario_name: str
+    core_counts: List[int]
+    series: Dict[str, Dict[int, Dict[str, float]]]
+
+    def energy(self, organization: str, cores: int) -> float:
+        return self.series[organization][cores]["energy"]
+
+    def area(self, organization: str, cores: int) -> float:
+        return self.series[organization][cores]["area"]
+
+
+def run(
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    organizations: Sequence[str] = tuple(FIGURE4_ORGANIZATIONS),
+) -> Dict[str, ScalabilityResult]:
+    """Reproduce Figure 4 for both the Shared-L2 and Private-L2 scenarios."""
+    results: Dict[str, ScalabilityResult] = {}
+    for name, scenario in (
+        ("Shared-L2", ScalingScenario.shared_l2()),
+        ("Private-L2", ScalingScenario.private_l2()),
+    ):
+        series = scaling_table(organizations, scenario, core_counts)
+        results[name] = ScalabilityResult(
+            scenario_name=name,
+            core_counts=list(core_counts),
+            series=series,
+        )
+    return results
+
+
+def format_table(results: Dict[str, ScalabilityResult]) -> str:
+    """Render the energy and area panels for every scenario."""
+    sections: List[str] = []
+    for scenario_name, result in results.items():
+        for metric, reference in (
+            ("energy", "1MB L2 tag lookup"),
+            ("area", "1MB L2 data array"),
+        ):
+            headers = ["Cores"] + list(result.series.keys())
+            rows = []
+            for cores in result.core_counts:
+                row: List[object] = [cores]
+                for organization in result.series:
+                    value = result.series[organization][cores][metric]
+                    row.append(format_percentage(value, digits=1))
+                rows.append(row)
+            sections.append(
+                render_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Figure 4 ({scenario_name}): per-core directory {metric} "
+                        f"relative to {reference}"
+                    ),
+                )
+            )
+    return "\n\n".join(sections)

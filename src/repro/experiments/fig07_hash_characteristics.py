@@ -1,0 +1,145 @@
+"""Figure 7 — d-ary cuckoo hash characteristics.
+
+The paper characterises the raw hashing technique, independent of any
+coherence behaviour: random keys are inserted into 2/3/4/8-ary cuckoo
+tables (indexed with strong hash functions to remove hash-function bias)
+and two quantities are recorded as a function of the table occupancy at
+insertion time:
+
+* the average number of insertion attempts until a successful insertion,
+  and
+* the probability that an insertion fails to find a vacant slot within 32
+  attempts.
+
+The paper notes the curves depend only on occupancy, not on the absolute
+table capacity, which the accompanying test suite verifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.stats import bin_by
+from repro.analysis.tables import format_percentage, render_table
+from repro.core.cuckoo_hash import CuckooHashTable
+from repro.hashing.strong import StrongHashFamily
+
+__all__ = ["HashCharacteristics", "run", "format_table"]
+
+
+@dataclass
+class HashCharacteristics:
+    """Binned insertion behaviour for one table arity."""
+
+    arity: int
+    occupancy_bins: List[float] = field(default_factory=list)
+    average_attempts: List[float] = field(default_factory=list)
+    failure_probability: List[float] = field(default_factory=list)
+
+    def as_series(self) -> Dict[float, Tuple[float, float]]:
+        return {
+            occupancy: (attempts, failures)
+            for occupancy, attempts, failures in zip(
+                self.occupancy_bins, self.average_attempts, self.failure_probability
+            )
+        }
+
+
+def _measure_arity(
+    arity: int,
+    capacity: int,
+    num_keys: int,
+    max_attempts: int,
+    bin_width: float,
+    seed: int,
+) -> HashCharacteristics:
+    num_sets = max(1, capacity // arity)
+    table = CuckooHashTable(
+        num_ways=arity,
+        num_sets=num_sets,
+        hash_family=StrongHashFamily(arity, num_sets, seed=seed),
+        max_attempts=max_attempts,
+    )
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(0, 1 << 48, size=num_keys, dtype=np.int64)
+
+    attempt_samples: List[Tuple[float, float]] = []
+    failure_samples: List[Tuple[float, float]] = []
+    for key in keys:
+        key = int(key)
+        if key in table:
+            continue
+        occupancy_before = table.occupancy()
+        if occupancy_before >= 1.0:
+            break
+        result = table.insert(key)
+        attempt_samples.append((occupancy_before, float(result.attempts)))
+        failure_samples.append((occupancy_before, 0.0 if result.success else 1.0))
+
+    attempts_binned = bin_by(attempt_samples, bin_width)
+    failures_binned = bin_by(failure_samples, bin_width)
+    bins = sorted(set(attempts_binned) | set(failures_binned))
+    return HashCharacteristics(
+        arity=arity,
+        occupancy_bins=bins,
+        average_attempts=[attempts_binned.get(b, 0.0) for b in bins],
+        failure_probability=[failures_binned.get(b, 0.0) for b in bins],
+    )
+
+
+def run(
+    arities: Sequence[int] = (2, 3, 4, 8),
+    capacity: int = 32_768,
+    num_keys: int = 100_000,
+    max_attempts: int = 32,
+    bin_width: float = 0.05,
+    seed: int = 1,
+) -> Dict[int, HashCharacteristics]:
+    """Reproduce Figure 7.
+
+    ``num_keys`` random values are offered to each table; insertion stops
+    when the table is full, so the sweep covers the whole occupancy range.
+    Returns a mapping from arity to its binned characteristics.
+    """
+    results: Dict[int, HashCharacteristics] = {}
+    for arity in arities:
+        results[arity] = _measure_arity(
+            arity=arity,
+            capacity=capacity,
+            num_keys=num_keys,
+            max_attempts=max_attempts,
+            bin_width=bin_width,
+            seed=seed + arity,
+        )
+    return results
+
+
+def format_table(results: Dict[int, HashCharacteristics]) -> str:
+    """Render both panels of Figure 7 as one table."""
+    arities = sorted(results)
+    all_bins = sorted({b for r in results.values() for b in r.occupancy_bins})
+    headers = ["Occupancy"]
+    for arity in arities:
+        headers.append(f"{arity}-ary attempts")
+    for arity in arities:
+        headers.append(f"{arity}-ary failure")
+    rows = []
+    for occupancy in all_bins:
+        row: List[object] = [f"{occupancy:.3f}"]
+        for arity in arities:
+            series = results[arity].as_series()
+            value = series.get(occupancy)
+            row.append(f"{value[0]:.2f}" if value else "-")
+        for arity in arities:
+            series = results[arity].as_series()
+            value = series.get(occupancy)
+            row.append(format_percentage(value[1]) if value else "-")
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Figure 7: d-ary cuckoo hash insertion attempts and failure probability",
+    )

@@ -1,0 +1,150 @@
+"""Figure 9 — Cuckoo directory sizing sweep.
+
+Sweeps the Cuckoo directory geometry from 2x over-provisioned down to
+3/8x under-provisioned for both system configurations and reports, for
+each geometry, the average number of insertion attempts and the forced
+invalidation rate, averaged across the workload suite.  Under-provisioned
+designs show the exponential blow-up the paper describes; 1x (Shared-L2)
+and 1.5x (Private-L2) are sufficient for near-zero invalidations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.stats import geometric_mean
+from repro.analysis.tables import format_percentage, render_table
+from repro.config import CacheLevel
+from repro.experiments import common
+from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+
+__all__ = ["ProvisioningPoint", "ProvisioningResult", "run", "format_table",
+           "SHARED_L2_GEOMETRIES", "PRIVATE_L2_GEOMETRIES"]
+
+#: (ways, provisioning factor, paper label) — the Shared-L2 sweep of Figure 9.
+SHARED_L2_GEOMETRIES: Sequence[Tuple[int, float, str]] = (
+    (4, 2.0, "4 x 1024 (2x)"),
+    (3, 1.5, "3 x 1024 (1.5x)"),
+    (4, 1.0, "4 x 512 (1x)"),
+    (3, 0.75, "3 x 512 (3/4x)"),
+    (4, 0.5, "4 x 256 (1/2x)"),
+    (3, 0.375, "3 x 256 (3/8x)"),
+)
+
+#: (ways, provisioning factor, paper label) — the Private-L2 sweep of Figure 9.
+PRIVATE_L2_GEOMETRIES: Sequence[Tuple[int, float, str]] = (
+    (4, 2.0, "4 x 8192 (2x)"),
+    (3, 1.5, "3 x 8192 (1.5x)"),
+    (8, 1.0, "8 x 2048 (1x)"),
+    (3, 0.75, "3 x 4096 (3/4x)"),
+    (8, 0.5, "8 x 1024 (1/2x)"),
+    (3, 0.375, "3 x 2048 (3/8x)"),
+)
+
+
+@dataclass
+class ProvisioningPoint:
+    """Averaged behaviour of one directory geometry."""
+
+    label: str
+    ways: int
+    provisioning: float
+    average_insertion_attempts: float
+    forced_invalidation_rate: float
+    per_workload_attempts: Dict[str, float]
+    per_workload_invalidation_rate: Dict[str, float]
+
+
+@dataclass
+class ProvisioningResult:
+    shared_l2: List[ProvisioningPoint]
+    private_l2: List[ProvisioningPoint]
+
+    def configurations(self) -> Dict[str, List[ProvisioningPoint]]:
+        return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
+
+
+def _sweep(
+    tracked_level: CacheLevel,
+    geometries: Sequence[Tuple[int, float, str]],
+    workload_names: Sequence[str],
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> List[ProvisioningPoint]:
+    system = common.scaled_system(tracked_level, scale=scale)
+    points: List[ProvisioningPoint] = []
+    for ways, provisioning, label in geometries:
+        attempts: Dict[str, float] = {}
+        invalidations: Dict[str, float] = {}
+        for name in workload_names:
+            workload = get_workload(name)
+            factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
+            run_result = common.run_workload(
+                workload,
+                system,
+                factory,
+                measure_accesses=measure_accesses,
+                seed=seed,
+            )
+            stats = run_result.result.directory_stats
+            attempts[name] = stats.average_insertion_attempts
+            invalidations[name] = stats.forced_invalidation_rate
+        mean_attempts = (
+            sum(attempts.values()) / len(attempts) if attempts else 0.0
+        )
+        mean_invalidations = (
+            sum(invalidations.values()) / len(invalidations) if invalidations else 0.0
+        )
+        points.append(
+            ProvisioningPoint(
+                label=label,
+                ways=ways,
+                provisioning=provisioning,
+                average_insertion_attempts=mean_attempts,
+                forced_invalidation_rate=mean_invalidations,
+                per_workload_attempts=attempts,
+                per_workload_invalidation_rate=invalidations,
+            )
+        )
+    return points
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> ProvisioningResult:
+    """Reproduce Figure 9 on the scaled-down system."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    shared = _sweep(
+        CacheLevel.L1, SHARED_L2_GEOMETRIES, names, scale, measure_accesses, seed
+    )
+    private = _sweep(
+        CacheLevel.L2, PRIVATE_L2_GEOMETRIES, names, scale, measure_accesses, seed
+    )
+    return ProvisioningResult(shared_l2=shared, private_l2=private)
+
+
+def format_table(result: ProvisioningResult) -> str:
+    sections: List[str] = []
+    for config_name, points in result.configurations().items():
+        headers = ["Geometry", "Avg insertion attempts", "Forced invalidation rate"]
+        rows = [
+            [
+                point.label,
+                f"{point.average_insertion_attempts:.2f}",
+                format_percentage(point.forced_invalidation_rate),
+            ]
+            for point in points
+        ]
+        sections.append(
+            render_table(
+                headers,
+                rows,
+                title=f"Figure 9 ({config_name}): Cuckoo directory sizing sweep",
+            )
+        )
+    return "\n\n".join(sections)

@@ -1,0 +1,81 @@
+"""Figure 10 — average insertion attempts of the chosen Cuckoo designs.
+
+Uses the directory geometries selected in Section 5.3 — 4-way, 1x
+provisioning for the Shared-L2 configuration and 3-way, 1.5x provisioning
+for the Private-L2 configuration — and reports the average number of
+insertion attempts per workload.  The paper's observation is that despite
+the small directory sizes the average stays well under two attempts, with
+the private-footprint-heavy workloads (DSS, ocean) at the high end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+from repro.config import CacheLevel
+from repro.experiments import common
+from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+
+__all__ = ["InsertionAttemptsResult", "run", "format_table"]
+
+#: The chosen designs of Section 5.3: (ways, provisioning factor).
+SHARED_L2_DESIGN = (4, 1.0)
+PRIVATE_L2_DESIGN = (3, 1.5)
+
+
+@dataclass
+class InsertionAttemptsResult:
+    shared_l2: Dict[str, float]
+    private_l2: Dict[str, float]
+
+    def configurations(self) -> Dict[str, Dict[str, float]]:
+        return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> InsertionAttemptsResult:
+    """Reproduce Figure 10 on the scaled-down system."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    shared: Dict[str, float] = {}
+    private: Dict[str, float] = {}
+    for tracked_level, (ways, provisioning), results in (
+        (CacheLevel.L1, SHARED_L2_DESIGN, shared),
+        (CacheLevel.L2, PRIVATE_L2_DESIGN, private),
+    ):
+        system = common.scaled_system(tracked_level, scale=scale)
+        for name in names:
+            workload = get_workload(name)
+            factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
+            run_result = common.run_workload(
+                workload,
+                system,
+                factory,
+                measure_accesses=measure_accesses,
+                seed=seed,
+            )
+            results[name] = run_result.result.directory_stats.average_insertion_attempts
+    return InsertionAttemptsResult(shared_l2=shared, private_l2=private)
+
+
+def format_table(result: InsertionAttemptsResult) -> str:
+    headers = ["Workload", "Shared L2 (4-way, 1x)", "Private L2 (3-way, 1.5x)"]
+    rows: List[List[object]] = []
+    for name in result.shared_l2:
+        rows.append(
+            [
+                name,
+                f"{result.shared_l2[name]:.2f}",
+                f"{result.private_l2.get(name, 0.0):.2f}",
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title="Figure 10: Cuckoo directory average insertion attempts",
+    )

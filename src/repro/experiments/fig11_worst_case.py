@@ -1,0 +1,83 @@
+"""Figure 11 — worst-case insertion-attempt distributions.
+
+Plots the distribution of insertion attempts (fraction of insert
+operations needing 1, 2, …, 32 attempts) for the benchmarks with the
+longest-tailed behaviour: OLTP Oracle in the Shared-L2 configuration and
+ocean in the Private-L2 configuration, using the chosen directory designs
+of Section 5.3.  The expectation the paper verifies is an exponentially
+decaying tail with essentially no mass at the 32-attempt cut-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.analysis.tables import format_percentage, render_table
+from repro.config import CacheLevel
+from repro.experiments import common
+from repro.experiments.fig10_insertion_attempts import (
+    PRIVATE_L2_DESIGN,
+    SHARED_L2_DESIGN,
+)
+from repro.workloads.suite import get_workload
+
+__all__ = ["WorstCaseResult", "run", "format_table"]
+
+
+@dataclass
+class WorstCaseResult:
+    """Attempt distributions, keyed by a 'workload (configuration)' label."""
+
+    distributions: Dict[str, Dict[int, float]]
+    max_attempts: int = 32
+
+
+def run(
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+    shared_workload: str = "Oracle",
+    private_workload: str = "ocean",
+) -> WorstCaseResult:
+    """Reproduce Figure 11 on the scaled-down system."""
+    distributions: Dict[str, Dict[int, float]] = {}
+
+    cases = (
+        (shared_workload, CacheLevel.L1, SHARED_L2_DESIGN, "Shared L2"),
+        (private_workload, CacheLevel.L2, PRIVATE_L2_DESIGN, "Private L2"),
+    )
+    for workload_name, tracked_level, (ways, provisioning), config_label in cases:
+        system = common.scaled_system(tracked_level, scale=scale)
+        workload = get_workload(workload_name)
+        factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
+        run_result = common.run_workload(
+            workload,
+            system,
+            factory,
+            measure_accesses=measure_accesses,
+            seed=seed,
+        )
+        label = f"{workload_name} ({config_label})"
+        distributions[label] = run_result.result.attempt_distribution()
+    return WorstCaseResult(distributions=distributions)
+
+
+def format_table(result: WorstCaseResult) -> str:
+    labels = list(result.distributions)
+    headers = ["Insertion attempts"] + labels
+    max_attempt = max(
+        (max(d) for d in result.distributions.values() if d), default=1
+    )
+    rows: List[List[object]] = []
+    for attempts in range(1, max_attempt + 1):
+        row: List[object] = [attempts]
+        for label in labels:
+            fraction = result.distributions[label].get(attempts, 0.0)
+            row.append(format_percentage(fraction))
+        rows.append(row)
+    return render_table(
+        headers,
+        rows,
+        title="Figure 11: worst-case insertion attempt distributions",
+    )

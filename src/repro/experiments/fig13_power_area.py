@@ -1,0 +1,132 @@
+"""Figure 13 — power and area comparison of directory organizations.
+
+Analytical projection, for both the Shared-L2 and Private-L2 scenarios, of
+the per-core directory energy (relative to a 1 MB L2 tag lookup) and area
+(relative to a 1 MB L2 data array) for every organization in the paper's
+comparison: Duplicate-Tag, Tagless, Sparse 8x In-Cache, Sparse 8x
+Hierarchical, Sparse 8x Coarse, Cuckoo Hierarchical and Cuckoo Coarse,
+from 16 to 1024 cores.
+
+The headline claims this reproduces:
+
+* the Cuckoo organizations are several times more area-efficient than the
+  equivalently encoded Sparse 8x organizations (the over-provisioning
+  factor), approaching 7x;
+* Cuckoo energy stays nearly flat with core count while Duplicate-Tag and
+  Tagless energy grows linearly per core, making Cuckoo orders of
+  magnitude more energy-efficient at 1024 cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.analysis.tables import format_percentage, render_table
+from repro.energy.model import (
+    FIGURE13_ORGANIZATIONS,
+    ScalingScenario,
+    scaling_table,
+)
+from repro.experiments.fig04_scalability import DEFAULT_CORE_COUNTS, ScalabilityResult
+
+__all__ = ["run", "format_table", "headline_ratios"]
+
+
+def run(
+    core_counts: Sequence[int] = DEFAULT_CORE_COUNTS,
+    organizations: Sequence[str] = tuple(FIGURE13_ORGANIZATIONS),
+) -> Dict[str, ScalabilityResult]:
+    """Reproduce Figure 13 for both scenarios."""
+    results: Dict[str, ScalabilityResult] = {}
+    for name, scenario in (
+        ("Shared-L2", ScalingScenario.shared_l2()),
+        ("Private-L2", ScalingScenario.private_l2()),
+    ):
+        series = scaling_table(organizations, scenario, core_counts)
+        results[name] = ScalabilityResult(
+            scenario_name=name,
+            core_counts=list(core_counts),
+            series=series,
+        )
+    return results
+
+
+def headline_ratios(results: Dict[str, ScalabilityResult]) -> Dict[str, float]:
+    """The paper's headline comparisons, computed from the model.
+
+    * ``tagless_energy_ratio_1024`` — Tagless energy / Cuckoo Coarse energy
+      at 1024 cores ("up to 80x more power-efficient than Tagless");
+    * ``sparse_area_ratio_1024`` — Sparse 8x Coarse area / Cuckoo Coarse
+      area at 1024 cores ("seven times more area-efficient than Sparse");
+    * ``duplicate_tag_energy_ratio_16`` — Duplicate-Tag energy / Cuckoo
+      Coarse energy at 16 cores ("up to 16x more energy-efficient even at
+      16 cores");
+    * ``sparse_area_ratio_16`` — Sparse 8x Coarse area / Cuckoo Coarse
+      area at 16 cores ("up to 6x more area-efficient at 16 cores").
+
+    When the results were computed for a reduced set of core counts, the
+    smallest and largest available counts stand in for 16 and 1024.
+    """
+    shared = results["Shared-L2"]
+    private = results["Private-L2"]
+    smallest = min(shared.core_counts)
+    largest = max(shared.core_counts)
+
+    def ratio(result: ScalabilityResult, metric: str, numerator: str,
+              denominator: str, cores: int) -> float:
+        num = result.series[numerator][cores][metric]
+        den = result.series[denominator][cores][metric]
+        return num / den if den else float("inf")
+
+    return {
+        "tagless_energy_ratio_1024": max(
+            ratio(shared, "energy", "Tagless", "Cuckoo Coarse", largest),
+            ratio(private, "energy", "Tagless", "Cuckoo Coarse", largest),
+        ),
+        "sparse_area_ratio_1024": max(
+            ratio(shared, "area", "Sparse 8x Coarse", "Cuckoo Coarse", largest),
+            ratio(private, "area", "Sparse 8x Coarse", "Cuckoo Coarse", largest),
+        ),
+        "duplicate_tag_energy_ratio_16": max(
+            ratio(shared, "energy", "Duplicate-Tag", "Cuckoo Coarse", smallest),
+            ratio(private, "energy", "Duplicate-Tag", "Cuckoo Coarse", smallest),
+        ),
+        "sparse_area_ratio_16": max(
+            ratio(shared, "area", "Sparse 8x Coarse", "Cuckoo Coarse", smallest),
+            ratio(private, "area", "Sparse 8x Coarse", "Cuckoo Coarse", smallest),
+        ),
+    }
+
+
+def format_table(results: Dict[str, ScalabilityResult]) -> str:
+    sections: List[str] = []
+    for scenario_name, result in results.items():
+        for metric, reference in (
+            ("energy", "1MB L2 tag lookup"),
+            ("area", "1MB L2 data array"),
+        ):
+            headers = ["Cores"] + list(result.series.keys())
+            rows = []
+            for cores in result.core_counts:
+                row: List[object] = [cores]
+                for organization in result.series:
+                    value = result.series[organization][cores][metric]
+                    row.append(format_percentage(value, digits=1))
+                rows.append(row)
+            sections.append(
+                render_table(
+                    headers,
+                    rows,
+                    title=(
+                        f"Figure 13 ({scenario_name}): per-core directory {metric} "
+                        f"relative to {reference}"
+                    ),
+                )
+            )
+    ratios = headline_ratios(results)
+    ratio_rows = [[key, f"{value:.1f}x"] for key, value in ratios.items()]
+    sections.append(
+        render_table(["Headline comparison", "Model value"], ratio_rows)
+    )
+    return "\n\n".join(sections)

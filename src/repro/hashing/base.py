@@ -1,0 +1,84 @@
+"""Common interface for directory-indexing hash families."""
+
+from __future__ import annotations
+
+import abc
+import math
+from typing import List, Sequence
+
+__all__ = ["HashFunction", "HashFamily"]
+
+
+class HashFunction(abc.ABC):
+    """Maps a block address to a set index in ``[0, num_sets)``."""
+
+    def __init__(self, num_sets: int) -> None:
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        self._num_sets = num_sets
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @abc.abstractmethod
+    def __call__(self, address: int) -> int:
+        """Return the set index for ``address``."""
+
+
+class HashFamily(abc.ABC):
+    """An ordered collection of hash functions, one per directory way.
+
+    A *d*-way cuckoo (or skewed) structure indexes way *i* with function
+    *i*; the family guarantees the functions are pairwise different so
+    conflicting addresses in one way rarely conflict in another.
+    """
+
+    def __init__(self, num_ways: int, num_sets: int) -> None:
+        if num_ways <= 0:
+            raise ValueError("num_ways must be positive")
+        if num_sets <= 0:
+            raise ValueError("num_sets must be positive")
+        self._num_ways = num_ways
+        self._num_sets = num_sets
+
+    @property
+    def num_ways(self) -> int:
+        return self._num_ways
+
+    @property
+    def num_sets(self) -> int:
+        return self._num_sets
+
+    @property
+    def index_bits(self) -> int:
+        """Number of index bits when ``num_sets`` is a power of two."""
+        return int(math.log2(self._num_sets)) if self._num_sets > 1 else 0
+
+    @abc.abstractmethod
+    def index(self, way: int, address: int) -> int:
+        """Return the set index of ``address`` in ``way``."""
+
+    def indices(self, address: int) -> List[int]:
+        """Return the candidate set index of ``address`` for every way."""
+        return [self.index(way, address) for way in range(self._num_ways)]
+
+    def _check_way(self, way: int) -> None:
+        if not 0 <= way < self._num_ways:
+            raise IndexError(f"way {way} out of range [0, {self._num_ways})")
+
+
+def validate_distinctness(family: HashFamily, addresses: Sequence[int]) -> float:
+    """Fraction of addresses whose candidate indices are not all identical.
+
+    Diagnostic helper used by tests: a good family should place almost every
+    address at distinct indices across ways (when ``num_sets > 1``).
+    """
+    if not addresses:
+        return 1.0
+    distinct = 0
+    for address in addresses:
+        indices = family.indices(address)
+        if len(set(indices)) > 1:
+            distinct += 1
+    return distinct / len(addresses)

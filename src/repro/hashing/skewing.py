@@ -1,0 +1,87 @@
+"""Seznec–Bodin skewing hash functions.
+
+The skewed-associative cache [Seznec & Bodin, PARLE '93] indexes each way
+with a different function built from a handful of XOR gates over two
+address bit-fields.  The Cuckoo directory paper uses exactly this family
+for its default design (Section 5.5) because it costs only "several levels
+of logic" in hardware.
+
+The construction implemented here follows the published family:
+
+* split the block address (above the offset bits) into two ``n``-bit
+  fields ``A1`` (low) and ``A2`` (high), where ``n`` is the number of
+  index bits;
+* way *i* is indexed by ``sigma^i(A1) XOR A2`` where ``sigma`` is a
+  single-cycle permutation of the ``n`` index bits (a rotate-and-flip
+  feedback function in the original paper; we use a bit rotation combined
+  with a conditional bit flip, which has the same hardware cost and the
+  same inter-way decorrelation property).
+"""
+
+from __future__ import annotations
+
+from repro.hashing.base import HashFamily
+
+__all__ = ["SkewingHashFamily", "skew_sigma"]
+
+
+def skew_sigma(value: int, bits: int) -> int:
+    """One application of the skewing permutation ``sigma`` on ``bits`` bits.
+
+    The permutation rotates the field left by one and XORs the wrapped-around
+    most-significant bit into bit 1, the classic "shuffle with feedback" used
+    by skewed-associative caches.  It is a bijection on ``bits``-bit values.
+    """
+    if bits <= 0:
+        return 0
+    mask = (1 << bits) - 1
+    value &= mask
+    msb = (value >> (bits - 1)) & 1
+    rotated = ((value << 1) | msb) & mask
+    if bits >= 2:
+        rotated ^= msb << 1
+    return rotated
+
+
+class SkewingHashFamily(HashFamily):
+    """The XOR-based skewing family used by the paper's default design.
+
+    Way ``i`` maps address ``a`` (block address, offset bits already
+    stripped by the caller or ignored via ``offset_bits``) to::
+
+        sigma^i(A1) ^ sigma^(i // 2)(A2)   mod num_sets
+
+    where ``A1`` and ``A2`` are consecutive index-sized bit-fields of the
+    address.  Applying ``sigma`` a different number of times per way keeps
+    the functions pairwise distinct while remaining a few XOR levels deep.
+    """
+
+    def __init__(self, num_ways: int, num_sets: int, offset_bits: int = 0) -> None:
+        super().__init__(num_ways, num_sets)
+        if num_sets & (num_sets - 1):
+            raise ValueError("SkewingHashFamily requires a power-of-two set count")
+        if offset_bits < 0:
+            raise ValueError("offset_bits must be non-negative")
+        self._offset_bits = offset_bits
+
+    @property
+    def offset_bits(self) -> int:
+        return self._offset_bits
+
+    def index(self, way: int, address: int) -> int:
+        self._check_way(way)
+        if address < 0:
+            raise ValueError("address must be non-negative")
+        bits = self.index_bits
+        if bits == 0:
+            return 0
+        block = address >> self._offset_bits
+        mask = (1 << bits) - 1
+        field1 = block & mask
+        field2 = (block >> bits) & mask
+        field3 = (block >> (2 * bits)) & mask
+        for _ in range(way):
+            field1 = skew_sigma(field1, bits)
+        for _ in range(way // 2):
+            field2 = skew_sigma(field2, bits)
+        return (field1 ^ field2 ^ field3) & mask

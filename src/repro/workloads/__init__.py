@@ -1,0 +1,54 @@
+"""Synthetic workload generators standing in for the paper's Table 2 suite.
+
+The paper drives its evaluation with full-system traces of commercial
+server workloads (TPC-C on DB2 and Oracle, TPC-H queries 2/16/17, SPECweb
+on Apache and Zeus) and two scientific kernels (em3d, ocean).  Those
+software stacks cannot be run here, but the directory-level metrics the
+paper reports depend only on the *shape* of the access stream: how large
+the per-core footprints are, how much of the footprint is shared (and by
+how many cores), how skewed the accesses are, and the read/write mix.
+
+This package provides generators parameterised by exactly those knobs:
+
+* :class:`~repro.workloads.synthetic.SyntheticWorkload` — a generic
+  server-workload generator (shared instructions + shared data + private
+  data, Zipf-skewed);
+* :class:`~repro.workloads.scientific.Em3dWorkload` — a bipartite-graph
+  propagation kernel with a configurable remote-neighbour fraction,
+  mirroring the em3d parameters in Table 2;
+* :class:`~repro.workloads.scientific.OceanWorkload` — a partitioned 2-D
+  grid stencil sweep whose footprint is almost entirely private,
+  mirroring ocean;
+* :mod:`~repro.workloads.suite` — the nine named workloads of Table 2 with
+  parameters calibrated so the relative behaviour in Figure 8 (which
+  workloads have mostly-shared vs. mostly-private footprints) holds.
+
+Footprints are expressed relative to the tracked private cache size so the
+same workload definitions drive both the Shared-L2 (64 KB L1) and
+Private-L2 (1 MB L2) configurations, as well as the scaled-down systems
+used by the fast test/benchmark paths.
+"""
+
+from repro.workloads.base import Workload, WorkloadCategory, ZipfSampler
+from repro.workloads.scientific import Em3dWorkload, OceanWorkload
+from repro.workloads.suite import (
+    WORKLOAD_NAMES,
+    get_workload,
+    iter_workloads,
+    workload_table,
+)
+from repro.workloads.synthetic import SyntheticWorkload, UniformRandomWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadCategory",
+    "ZipfSampler",
+    "SyntheticWorkload",
+    "UniformRandomWorkload",
+    "Em3dWorkload",
+    "OceanWorkload",
+    "WORKLOAD_NAMES",
+    "get_workload",
+    "iter_workloads",
+    "workload_table",
+]

@@ -1,0 +1,135 @@
+"""Workload abstractions shared by every trace generator."""
+
+from __future__ import annotations
+
+import abc
+from enum import Enum
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.coherence.system import MemoryAccess
+from repro.config import SystemConfig
+
+__all__ = ["WorkloadCategory", "Workload", "ZipfSampler", "AddressSpaceLayout"]
+
+
+class WorkloadCategory(str, Enum):
+    """Table 2 groups."""
+
+    OLTP = "OLTP"
+    DSS = "DSS"
+    WEB = "Web"
+    SCIENTIFIC = "Sci"
+    SYNTHETIC = "Synthetic"
+
+
+class ZipfSampler:
+    """Bounded Zipf(α) sampler over ``[0, population)``.
+
+    ``alpha == 0`` degenerates to a uniform distribution.  Sampling is
+    vectorised (inverse-CDF via ``searchsorted``) so generators can draw
+    large batches cheaply.
+    """
+
+    def __init__(self, population: int, alpha: float, rng: np.random.Generator) -> None:
+        if population <= 0:
+            raise ValueError("population must be positive")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self._population = population
+        self._alpha = alpha
+        self._rng = rng
+        if alpha == 0.0:
+            self._cdf: Optional[np.ndarray] = None
+        else:
+            ranks = np.arange(1, population + 1, dtype=np.float64)
+            weights = ranks ** (-alpha)
+            self._cdf = np.cumsum(weights)
+            self._cdf /= self._cdf[-1]
+
+    @property
+    def population(self) -> int:
+        return self._population
+
+    @property
+    def alpha(self) -> float:
+        return self._alpha
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` indices in ``[0, population)``."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._cdf is None:
+            return self._rng.integers(0, self._population, size=count, dtype=np.int64)
+        uniforms = self._rng.random(count)
+        return np.searchsorted(self._cdf, uniforms, side="left").astype(np.int64)
+
+
+class AddressSpaceLayout:
+    """Carves the physical address space into non-overlapping regions.
+
+    Every workload places its footprints (shared instructions, shared
+    data, per-core private data, …) in disjoint regions so that an address
+    unambiguously identifies the kind of block it is, which makes the
+    generated sharing behaviour auditable in tests.
+    """
+
+    def __init__(self, block_bytes: int, base_address: int = 0x1000_0000) -> None:
+        if block_bytes <= 0:
+            raise ValueError("block_bytes must be positive")
+        self._block_bytes = block_bytes
+        self._next_base = base_address
+
+    def allocate(self, num_blocks: int) -> int:
+        """Reserve a region of ``num_blocks`` blocks; returns its base address."""
+        if num_blocks < 0:
+            raise ValueError("num_blocks must be non-negative")
+        base = self._next_base
+        self._next_base += max(1, num_blocks) * self._block_bytes
+        return base
+
+    @property
+    def block_bytes(self) -> int:
+        return self._block_bytes
+
+
+class Workload(abc.ABC):
+    """A named, reproducible source of :class:`MemoryAccess` streams."""
+
+    def __init__(self, name: str, category: WorkloadCategory) -> None:
+        self._name = name
+        self._category = category
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def category(self) -> WorkloadCategory:
+        return self._category
+
+    @abc.abstractmethod
+    def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
+        """Yield an unbounded stream of accesses for ``system``.
+
+        The stream must be deterministic for a given ``(system, seed)``.
+        Callers bound it with the simulator's ``max_accesses``.
+        """
+
+    def recommended_warmup(self, system: SystemConfig) -> int:
+        """Accesses needed to warm the tracked caches before measuring.
+
+        Heuristic: a few times the aggregate tracked-cache capacity, which
+        is enough for LRU state and directory contents to reach steady
+        state for these generators.
+        """
+        frames = (
+            system.num_tracked_caches * system.tracked_cache_config.num_frames
+        )
+        return 3 * frames
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self._name!r}, {self._category.value})"

@@ -1,0 +1,211 @@
+"""The Table 2 workload suite.
+
+Nine named workloads mirroring the paper's suite, grouped as in Table 2:
+
+========  ==========  ==================================================
+Name      Category    Behaviour the parameters encode
+========  ==========  ==================================================
+DB2       OLTP        Large shared code path, hot shared buffer pool,
+Oracle    OLTP        modest per-thread private state, skewed accesses.
+Qry2      DSS         Sequential scan/join queries: small code, little
+Qry16     DSS         sharing, per-core scan buffers larger than the
+Qry17     DSS         private caches, near-uniform access within scans.
+Apache    Web         Web servers: the largest shared instruction
+Zeus      Web         footprints, hot shared session/data structures.
+em3d      Scientific  Bipartite-graph propagation, 15 % remote
+                      neighbours, mostly-private footprint.
+ocean     Scientific  Banded 2-D grid relaxation, ~100 % unique private
+                      blocks (the paper's worst case for occupancy).
+========  ==========  ==================================================
+
+The absolute footprints of the real applications (10 GB TPC-C databases,
+1 GB TPC-H database, 16 K-connection web servers) vastly exceed any cache;
+what matters to the directory is how the *cache-resident* portion divides
+into shared instructions, shared data and private data.  The parameters
+below were chosen so that the qualitative behaviour of Figure 8 holds:
+server workloads show substantial instruction/data sharing (well-below-1x
+occupancy in the Shared-L2 configuration), DSS and scientific workloads
+are dominated by private footprints in the Private-L2 configuration, and
+ocean is the extreme case with essentially all blocks unique to one cache.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.workloads.base import Workload, WorkloadCategory
+from repro.workloads.scientific import Em3dWorkload, OceanWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+
+__all__ = ["WORKLOAD_NAMES", "get_workload", "iter_workloads", "workload_table"]
+
+
+def _build_suite() -> Dict[str, Workload]:
+    suite: Dict[str, Workload] = {}
+
+    # -- OLTP: TPC-C on DB2 and Oracle --------------------------------------
+    suite["DB2"] = SyntheticWorkload(
+        name="DB2",
+        category=WorkloadCategory.OLTP,
+        instr_fraction=0.35,
+        instr_footprint_l1x=6.0,
+        shared_data_footprint_l2x=2.0,
+        private_footprint_l2x=0.45,
+        shared_data_fraction=0.50,
+        shared_write_fraction=0.18,
+        private_write_fraction=0.30,
+        zipf_alpha=0.80,
+        migration_fraction=0.03,
+    )
+    suite["Oracle"] = SyntheticWorkload(
+        name="Oracle",
+        category=WorkloadCategory.OLTP,
+        instr_fraction=0.33,
+        instr_footprint_l1x=8.0,
+        shared_data_footprint_l2x=1.5,
+        private_footprint_l2x=0.55,
+        shared_data_fraction=0.45,
+        shared_write_fraction=0.20,
+        private_write_fraction=0.32,
+        zipf_alpha=0.75,
+        migration_fraction=0.04,
+    )
+
+    # -- DSS: TPC-H queries 2, 16, 17 ----------------------------------------
+    suite["Qry2"] = SyntheticWorkload(
+        name="Qry2",
+        category=WorkloadCategory.DSS,
+        instr_fraction=0.15,
+        instr_footprint_l1x=2.0,
+        shared_data_footprint_l2x=0.6,
+        private_footprint_l2x=1.10,
+        shared_data_fraction=0.18,
+        shared_write_fraction=0.05,
+        private_write_fraction=0.10,
+        zipf_alpha=0.25,
+        migration_fraction=0.01,
+    )
+    suite["Qry16"] = SyntheticWorkload(
+        name="Qry16",
+        category=WorkloadCategory.DSS,
+        instr_fraction=0.16,
+        instr_footprint_l1x=2.5,
+        shared_data_footprint_l2x=0.8,
+        private_footprint_l2x=0.95,
+        shared_data_fraction=0.22,
+        shared_write_fraction=0.05,
+        private_write_fraction=0.12,
+        zipf_alpha=0.30,
+        migration_fraction=0.01,
+    )
+    suite["Qry17"] = SyntheticWorkload(
+        name="Qry17",
+        category=WorkloadCategory.DSS,
+        instr_fraction=0.14,
+        instr_footprint_l1x=2.0,
+        shared_data_footprint_l2x=0.5,
+        private_footprint_l2x=1.25,
+        shared_data_fraction=0.15,
+        shared_write_fraction=0.04,
+        private_write_fraction=0.10,
+        zipf_alpha=0.20,
+        migration_fraction=0.01,
+    )
+
+    # -- Web: SPECweb99 on Apache and Zeus ------------------------------------
+    suite["Apache"] = SyntheticWorkload(
+        name="Apache",
+        category=WorkloadCategory.WEB,
+        instr_fraction=0.40,
+        instr_footprint_l1x=7.0,
+        shared_data_footprint_l2x=1.2,
+        private_footprint_l2x=0.35,
+        shared_data_fraction=0.40,
+        shared_write_fraction=0.12,
+        private_write_fraction=0.25,
+        zipf_alpha=0.90,
+        migration_fraction=0.05,
+    )
+    suite["Zeus"] = SyntheticWorkload(
+        name="Zeus",
+        category=WorkloadCategory.WEB,
+        instr_fraction=0.38,
+        instr_footprint_l1x=5.5,
+        shared_data_footprint_l2x=1.0,
+        private_footprint_l2x=0.40,
+        shared_data_fraction=0.38,
+        shared_write_fraction=0.12,
+        private_write_fraction=0.25,
+        zipf_alpha=0.85,
+        migration_fraction=0.04,
+    )
+
+    # -- Scientific ------------------------------------------------------------
+    suite["em3d"] = Em3dWorkload(
+        name="em3d",
+        nodes_per_core_l2x=1.2,
+        degree=2,
+        remote_fraction=0.15,
+    )
+    suite["ocean"] = OceanWorkload(
+        name="ocean",
+        grid_l2x=1.5,
+    )
+    return suite
+
+
+_SUITE = _build_suite()
+
+#: Workload names in the order the paper's figures present them.
+WORKLOAD_NAMES: List[str] = [
+    "DB2",
+    "Oracle",
+    "Qry2",
+    "Qry16",
+    "Qry17",
+    "Apache",
+    "Zeus",
+    "em3d",
+    "ocean",
+]
+
+
+def get_workload(name: str) -> Workload:
+    """Return the named Table 2 workload.
+
+    Raises ``KeyError`` with the list of valid names if the name is unknown.
+    """
+    try:
+        return _SUITE[name]
+    except KeyError:
+        valid = ", ".join(WORKLOAD_NAMES)
+        raise KeyError(f"unknown workload {name!r}; expected one of: {valid}")
+
+
+def iter_workloads() -> Iterator[Workload]:
+    """Iterate over the suite in the paper's presentation order."""
+    for name in WORKLOAD_NAMES:
+        yield _SUITE[name]
+
+
+def workload_table() -> List[Dict[str, str]]:
+    """Table 2 as data: one row per workload (name, category, description)."""
+    descriptions = {
+        "DB2": "IBM DB2 v8 ESE, TPC-C, 100 warehouses, 64 clients",
+        "Oracle": "Oracle 10g, TPC-C, 100 warehouses, 16 clients",
+        "Qry2": "IBM DB2 v8 ESE, TPC-H query 2, 1 GB database",
+        "Qry16": "IBM DB2 v8 ESE, TPC-H query 16, 1 GB database",
+        "Qry17": "IBM DB2 v8 ESE, TPC-H query 17, 1 GB database",
+        "Apache": "Apache HTTP Server v2.0, SPECweb99, 16 K connections",
+        "Zeus": "Zeus Web Server v4.3, SPECweb99, 16 K connections",
+        "em3d": "768 K nodes, degree 2, 15 % remote",
+        "ocean": "1026x1026 grid, 9600 s relaxations",
+    }
+    return [
+        {
+            "name": name,
+            "category": _SUITE[name].category.value,
+            "description": descriptions[name],
+        }
+        for name in WORKLOAD_NAMES
+    ]

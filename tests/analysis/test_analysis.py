@@ -1,0 +1,103 @@
+"""Tests for the analysis helpers (tables, statistics)."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import bin_by, geometric_mean, summarize
+from repro.analysis.tables import format_percentage, format_ratio, render_table
+
+
+class TestFormatting:
+    def test_percentage(self):
+        assert format_percentage(0.034) == "3.40%"
+        assert format_percentage(1.5, digits=0) == "150%"
+
+    def test_ratio(self):
+        assert format_ratio(2.5) == "2.50x"
+        assert format_ratio(0.125, digits=3) == "0.125x"
+
+
+class TestRenderTable:
+    def test_contains_headers_and_rows(self):
+        text = render_table(["Name", "Value"], [["a", 1], ["bb", 22]])
+        assert "Name" in text and "Value" in text
+        assert "a" in text and "22" in text
+
+    def test_title_included(self):
+        text = render_table(["H"], [["x"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_columns_aligned(self):
+        text = render_table(["H1", "H2"], [["x", 1], ["longer", 2]])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert len({len(line) for line in lines}) == 1
+
+    def test_numeric_cells_right_justified(self):
+        text = render_table(["Metric"], [["5"], ["12345"]])
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        # The short number must be padded on the left.
+        assert "|     5 |" in lines[1] or "|      5 |" in lines[1]
+
+    def test_mismatched_row_length_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["A"], [])
+        assert "A" in text
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_zero_values_clamped(self):
+        value = geometric_mean([0.0, 1.0])
+        assert 0.0 < value < 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([-1.0, 2.0])
+
+    def test_identity(self):
+        assert geometric_mean([3.0, 3.0, 3.0]) == pytest.approx(3.0)
+
+
+class TestBinBy:
+    def test_averages_within_bins(self):
+        pairs = [(0.05, 1.0), (0.07, 3.0), (0.55, 10.0)]
+        result = bin_by(pairs, bin_width=0.1)
+        assert result[0.05] == pytest.approx(2.0)
+        assert result[0.55] == pytest.approx(10.0)
+
+    def test_out_of_range_ignored(self):
+        result = bin_by([(1.5, 99.0), (0.5, 1.0)], bin_width=0.5)
+        assert 99.0 not in result.values()
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            bin_by([], bin_width=0)
+
+    def test_bins_sorted(self):
+        pairs = [(0.9, 1.0), (0.1, 2.0), (0.5, 3.0)]
+        result = bin_by(pairs, bin_width=0.2)
+        keys = list(result)
+        assert keys == sorted(keys)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["count"] == 3
+        assert summary["mean"] == pytest.approx(2.0)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary["count"] == 0
+        assert summary["mean"] == 0.0

@@ -1,0 +1,113 @@
+"""Tests for the trace-driven simulation harness."""
+
+import itertools
+
+import pytest
+
+from repro.coherence.simulator import TraceSimulator
+from repro.coherence.system import MemoryAccess, TiledCMP
+from repro.core.cuckoo_directory import CuckooDirectory
+
+
+def factory(num_caches, slice_id):
+    return CuckooDirectory(num_caches=num_caches, num_sets=64, num_ways=4)
+
+
+def make_system(config):
+    return TiledCMP(config, factory)
+
+
+def round_robin_trace(num_cores, blocks, write_every=5):
+    """Deterministic unbounded trace cycling cores over a block range."""
+    for i in itertools.count():
+        yield MemoryAccess(
+            core=i % num_cores,
+            address=(i % blocks) * 64,
+            is_write=(i % write_every == 0),
+        )
+
+
+class TestTraceSimulator:
+    def test_measurement_window_is_bounded(self, tiny_private_system):
+        simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=10)
+        result = simulator.run(round_robin_trace(4, 100), max_accesses=500)
+        assert result.accesses == 500
+
+    def test_warmup_statistics_are_discarded(self, tiny_private_system):
+        system = make_system(tiny_private_system)
+        simulator = TraceSimulator(system, warmup_accesses=200)
+        result = simulator.run(round_robin_trace(4, 50), max_accesses=100)
+        # All 50 blocks were inserted during warm-up, so the measurement
+        # window should see almost no new insertions.
+        assert result.directory_stats.insertions < 50
+
+    def test_zero_warmup_counts_everything(self, tiny_private_system):
+        system = make_system(tiny_private_system)
+        simulator = TraceSimulator(system, warmup_accesses=0)
+        result = simulator.run(round_robin_trace(4, 50), max_accesses=200)
+        assert result.directory_stats.insertions >= 50
+
+    def test_occupancy_samples_collected(self, tiny_private_system):
+        simulator = TraceSimulator(
+            make_system(tiny_private_system),
+            warmup_accesses=0,
+            occupancy_sample_interval=50,
+        )
+        result = simulator.run(round_robin_trace(4, 200), max_accesses=400)
+        assert len(result.occupancy_samples) >= 8
+        assert 0.0 < result.average_occupancy <= 1.0
+
+    def test_short_run_still_reports_an_occupancy_sample(self, tiny_private_system):
+        simulator = TraceSimulator(
+            make_system(tiny_private_system),
+            warmup_accesses=0,
+            occupancy_sample_interval=10_000,
+        )
+        result = simulator.run(round_robin_trace(4, 20), max_accesses=30)
+        assert len(result.occupancy_samples) == 1
+
+    def test_finite_trace_terminates_naturally(self, tiny_private_system):
+        simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=0)
+        finite = [MemoryAccess(core=0, address=i * 64) for i in range(25)]
+        result = simulator.run(finite)
+        assert result.accesses == 25
+
+    def test_per_slice_stats_cover_all_slices(self, tiny_private_system):
+        simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=0)
+        result = simulator.run(round_robin_trace(4, 64), max_accesses=200)
+        assert len(result.per_slice_stats) == 4
+        assert sum(s.insertions for s in result.per_slice_stats) == (
+            result.directory_stats.insertions
+        )
+
+    def test_cache_hit_rate_in_range(self, tiny_private_system):
+        simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=50)
+        result = simulator.run(round_robin_trace(4, 30), max_accesses=300)
+        assert 0.0 <= result.cache_hit_rate <= 1.0
+        # A 30-block working set fits easily, so hits dominate after warm-up.
+        assert result.cache_hit_rate > 0.5
+
+    def test_result_convenience_properties(self, tiny_private_system):
+        simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=0)
+        result = simulator.run(round_robin_trace(4, 64), max_accesses=200)
+        assert result.average_insertion_attempts >= 1.0
+        assert result.forced_invalidation_rate >= 0.0
+        assert isinstance(result.attempt_distribution(), dict)
+
+    def test_rejects_bad_parameters(self, tiny_private_system):
+        system = make_system(tiny_private_system)
+        with pytest.raises(ValueError):
+            TraceSimulator(system, warmup_accesses=-1)
+        with pytest.raises(ValueError):
+            TraceSimulator(system, occupancy_sample_interval=0)
+
+    def test_deterministic_given_same_trace(self, tiny_private_system):
+        results = []
+        for _ in range(2):
+            simulator = TraceSimulator(make_system(tiny_private_system), warmup_accesses=0)
+            results.append(simulator.run(round_robin_trace(4, 100), max_accesses=500))
+        assert (
+            results[0].directory_stats.insertions
+            == results[1].directory_stats.insertions
+        )
+        assert results[0].cache_hit_rate == results[1].cache_hit_rate

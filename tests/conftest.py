@@ -1,0 +1,48 @@
+"""Shared fixtures for the test suite.
+
+Tests run against *tiny* system configurations (a few KB of cache) so the
+whole suite stays fast; the behaviour under test — hashing, displacement,
+inclusion, invalidation accounting — is size-independent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import CacheConfig, CacheLevel, SystemConfig
+
+
+@pytest.fixture
+def tiny_l1() -> CacheConfig:
+    """A 2-way, 16-frame cache (1 KB with 64-byte blocks)."""
+    return CacheConfig(size_bytes=1024, associativity=2)
+
+
+@pytest.fixture
+def tiny_l2() -> CacheConfig:
+    """A 16-way, 128-frame cache (8 KB with 64-byte blocks)."""
+    return CacheConfig(size_bytes=8192, associativity=16)
+
+
+@pytest.fixture
+def tiny_shared_system(tiny_l1, tiny_l2) -> SystemConfig:
+    """A 4-core Shared-L2 system small enough for exhaustive tests."""
+    return SystemConfig(
+        num_cores=4,
+        l1_config=tiny_l1,
+        l2_config=tiny_l2,
+        tracked_level=CacheLevel.L1,
+        page_bytes=256,
+    )
+
+
+@pytest.fixture
+def tiny_private_system(tiny_l1, tiny_l2) -> SystemConfig:
+    """A 4-core Private-L2 system small enough for exhaustive tests."""
+    return SystemConfig(
+        num_cores=4,
+        l1_config=tiny_l1,
+        l2_config=tiny_l2,
+        tracked_level=CacheLevel.L2,
+        page_bytes=256,
+    )

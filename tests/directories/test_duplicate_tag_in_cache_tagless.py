@@ -1,0 +1,150 @@
+"""Organization-specific tests for Duplicate-Tag, In-Cache and Tagless."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.directories.duplicate_tag import DuplicateTagDirectory
+from repro.directories.in_cache import InCacheDirectory
+from repro.directories.tagless import TaglessDirectory
+
+CACHE = CacheConfig(size_bytes=2048, associativity=2)  # 32 frames, 16 sets
+L2 = CacheConfig(size_bytes=8192, associativity=16)    # 128 frames
+
+
+class TestDuplicateTag:
+    def test_sharers_are_per_cache_mirrors(self):
+        directory = DuplicateTagDirectory(num_caches=4, cache_config=CACHE)
+        directory.add_sharer(0x40, 0)
+        directory.add_sharer(0x40, 2)
+        assert directory.lookup(0x40).sharers == frozenset({0, 2})
+
+    def test_capacity_equals_total_cache_frames(self):
+        directory = DuplicateTagDirectory(num_caches=4, cache_config=CACHE)
+        assert directory.capacity == 4 * 32
+
+    def test_lookup_associativity_scales_with_caches(self):
+        small = DuplicateTagDirectory(num_caches=4, cache_config=CACHE)
+        large = DuplicateTagDirectory(num_caches=16, cache_config=CACHE)
+        assert large.lookup_associativity == 4 * small.lookup_associativity
+
+    def test_never_conflicts_when_driven_like_a_cache(self):
+        """When the driver mirrors real cache behaviour (at most `assoc`
+        blocks per cache set resident at once), no invalidation is forced."""
+        directory = DuplicateTagDirectory(num_caches=1, cache_config=CACHE)
+        sets = CACHE.num_sets
+        # Fill every set with exactly `assoc` blocks.
+        for set_index in range(sets):
+            for way in range(CACHE.associativity):
+                directory.add_sharer(set_index + way * sets, 0)
+        assert directory.stats.forced_invalidations == 0
+        # Replacing a block the way a cache would (evict then insert).
+        directory.remove_sharer(0, 0)
+        result = directory.add_sharer(2 * sets * 7, 0)
+        assert result.forced_invalidation_count == 0
+
+    def test_overflowing_a_mirror_set_forces_invalidation(self):
+        directory = DuplicateTagDirectory(num_caches=1, cache_config=CACHE)
+        sets = CACHE.num_sets
+        for i in range(CACHE.associativity + 1):
+            result = directory.add_sharer(i * sets, 0)
+        assert result.forced_invalidation_count == 1
+
+    def test_slicing_reduces_mirror_sets(self):
+        directory = DuplicateTagDirectory(
+            num_caches=2, cache_config=CACHE, num_slices=4
+        )
+        assert directory.mirror_sets == CACHE.num_sets // 4
+
+    def test_per_cache_tracking_is_independent(self):
+        directory = DuplicateTagDirectory(num_caches=2, cache_config=CACHE)
+        directory.add_sharer(0x80, 0)
+        directory.remove_sharer(0x80, 1)  # cache 1 never had it
+        assert directory.lookup(0x80).sharers == frozenset({0})
+
+    def test_bits_read_grow_with_cache_count(self):
+        small = DuplicateTagDirectory(num_caches=2, cache_config=CACHE)
+        large = DuplicateTagDirectory(num_caches=8, cache_config=CACHE)
+        small.lookup(0x1)
+        large.lookup(0x1)
+        assert large.stats.bits_read > small.stats.bits_read
+
+
+class TestInCache:
+    def test_geometry_mirrors_l2_slice(self):
+        directory = InCacheDirectory(num_caches=8, l2_slice_config=L2)
+        assert directory.num_ways == L2.associativity
+        assert directory.num_sets == L2.num_sets
+        assert directory.capacity == L2.num_frames
+
+    def test_slicing_divides_sets(self):
+        directory = InCacheDirectory(num_caches=8, l2_slice_config=L2, num_slices=4)
+        assert directory.num_sets == L2.num_sets // 4
+
+    def test_added_bits_per_entry_is_vector_width(self):
+        directory = InCacheDirectory(num_caches=8, l2_slice_config=L2)
+        assert directory.added_bits_per_entry == 8
+        assert directory.tag_storage_is_free
+
+    def test_behaves_like_sparse_directory(self):
+        directory = InCacheDirectory(num_caches=4, l2_slice_config=L2)
+        directory.add_sharer(0x11, 0)
+        directory.add_sharer(0x11, 3)
+        assert directory.lookup(0x11).sharers == frozenset({0, 3})
+
+
+class TestTagless:
+    def test_reports_superset_of_sharers(self):
+        directory = TaglessDirectory(num_caches=8, cache_config=CACHE, filter_bits=64)
+        directory.add_sharer(0x33, 2)
+        sharers = directory.lookup(0x33).sharers
+        assert 2 in sharers
+
+    def test_never_forces_invalidations(self):
+        directory = TaglessDirectory(num_caches=4, cache_config=CACHE, filter_bits=32)
+        for block in range(500):
+            result = directory.add_sharer(block, block % 4)
+            assert result.forced_invalidation_count == 0
+        assert directory.stats.forced_invalidations == 0
+
+    def test_false_positives_possible_with_tiny_filters(self):
+        directory = TaglessDirectory(
+            num_caches=2, cache_config=CACHE, filter_bits=4, num_hashes=1
+        )
+        for block in range(0, 64, 2):
+            directory.add_sharer(block, 0)
+        # Probe different blocks that map to the same (even) buckets.
+        false_positives = sum(
+            directory.false_positive_sharers(block) for block in range(64, 128, 2)
+        )
+        assert false_positives > 0
+
+    def test_removal_clears_membership_via_counting_filters(self):
+        directory = TaglessDirectory(num_caches=2, cache_config=CACHE, filter_bits=256)
+        directory.add_sharer(0x70, 1)
+        directory.remove_sharer(0x70, 1)
+        assert not directory.lookup(0x70).found
+
+    def test_removal_does_not_disturb_other_blocks_sharing_bits(self):
+        directory = TaglessDirectory(
+            num_caches=1, cache_config=CacheConfig(size_bytes=128, associativity=2),
+            filter_bits=2, num_hashes=1,
+        )
+        # With a single bucket and 2 filter bits, many blocks alias.
+        directory.add_sharer(0, 0)
+        directory.add_sharer(2, 0)
+        directory.remove_sharer(0, 0)
+        # Block 2 must still be reported even if it shared filter bits with 0.
+        assert 0 in directory.lookup(2).sharers
+
+    def test_bits_per_lookup_scale_with_caches(self):
+        small = TaglessDirectory(num_caches=2, cache_config=CACHE)
+        large = TaglessDirectory(num_caches=16, cache_config=CACHE)
+        assert large.bits_per_lookup == 8 * small.bits_per_lookup
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TaglessDirectory(num_caches=2, cache_config=CACHE, filter_bits=0)
+        with pytest.raises(ValueError):
+            TaglessDirectory(num_caches=2, cache_config=CACHE, num_hashes=0)
+        with pytest.raises(ValueError):
+            TaglessDirectory(num_caches=2, cache_config=CACHE, num_slices=0)

@@ -1,0 +1,245 @@
+"""Tests for the experiment drivers (scaled-down, fast configurations).
+
+These are behavioural tests: each driver is run on a heavily scaled-down
+system with short measurement windows and its *qualitative* result — the
+trend or ordering the corresponding paper figure shows — is asserted.
+Absolute numbers are expected to differ from the paper.
+"""
+
+import pytest
+
+from repro.config import CacheLevel
+from repro.experiments import common
+from repro.experiments import (
+    fig04_scalability,
+    fig07_hash_characteristics,
+    fig08_occupancy,
+    fig09_provisioning,
+    fig10_insertion_attempts,
+    fig11_worst_case,
+    fig12_invalidations,
+    fig13_power_area,
+)
+
+# A fast setting shared by all simulation-based experiment tests.
+FAST = dict(scale=64, measure_accesses=4_000)
+FAST_WORKLOADS = ["Oracle", "Qry17", "ocean"]
+
+
+class TestCommonHelpers:
+    def test_scaled_system_preserves_ratios(self):
+        full = common.scaled_system(CacheLevel.L1, scale=1)
+        scaled = common.scaled_system(CacheLevel.L1, scale=16)
+        assert full.l1_config.associativity == scaled.l1_config.associativity
+        assert full.l2_config.associativity == scaled.l2_config.associativity
+        assert full.l1_config.num_frames == 16 * scaled.l1_config.num_frames
+
+    def test_scaled_system_full_size_matches_table1(self):
+        full = common.scaled_system(CacheLevel.L1, scale=1)
+        assert full.l1_config.size_bytes == 64 * 1024
+        assert full.l2_config.size_bytes == 1024 * 1024
+        assert full.page_bytes == 8192
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(ValueError):
+            common.scaled_system(CacheLevel.L1, scale=0)
+
+    def test_factories_produce_sized_directories(self):
+        system = common.scaled_system(CacheLevel.L1, scale=32)
+        cuckoo = common.cuckoo_factory(system, ways=4, provisioning=1.0)(8, 0)
+        sparse = common.sparse_factory(system, ways=8, provisioning=2.0)(8, 0)
+        skewed = common.skewed_factory(system, ways=4, provisioning=2.0)(8, 0)
+        frames = system.tracked_frames_per_slice
+        assert cuckoo.capacity == pytest.approx(frames, rel=0.5)
+        assert sparse.capacity == pytest.approx(2 * frames, rel=0.5)
+        assert skewed.capacity == pytest.approx(2 * frames, rel=0.5)
+
+    def test_run_workload_returns_populated_result(self):
+        system = common.scaled_system(CacheLevel.L2, scale=64)
+        from repro.workloads.suite import get_workload
+
+        run = common.run_workload(
+            get_workload("DB2"),
+            system,
+            common.cuckoo_factory(system, ways=4, provisioning=2.0),
+            measure_accesses=2_000,
+        )
+        assert run.result.accesses == 2_000
+        assert 0.0 < run.occupancy_vs_worst_case <= 1.2
+        assert run.directory_capacity_total > 0
+
+
+class TestFig04AndFig13:
+    def test_fig04_has_both_scenarios_and_baselines(self):
+        results = fig04_scalability.run(core_counts=(16, 64, 256))
+        assert set(results) == {"Shared-L2", "Private-L2"}
+        shared = results["Shared-L2"]
+        assert "Duplicate-Tag" in shared.series
+        assert shared.energy("Duplicate-Tag", 256) > shared.energy("Duplicate-Tag", 16)
+
+    def test_fig04_format_table(self):
+        results = fig04_scalability.run(core_counts=(16, 64))
+        text = fig04_scalability.format_table(results)
+        assert "Figure 4" in text
+        assert "Duplicate-Tag" in text
+
+    def test_fig13_cuckoo_flat_energy_and_small_area(self):
+        results = fig13_power_area.run(core_counts=(16, 256, 1024))
+        for scenario in results.values():
+            cuckoo_growth = scenario.energy("Cuckoo Coarse", 1024) / scenario.energy(
+                "Cuckoo Coarse", 16
+            )
+            duptag_growth = scenario.energy("Duplicate-Tag", 1024) / scenario.energy(
+                "Duplicate-Tag", 16
+            )
+            assert cuckoo_growth < 2.0 < duptag_growth
+            assert scenario.area("Cuckoo Coarse", 1024) < scenario.area(
+                "Sparse 8x Coarse", 1024
+            )
+
+    def test_fig13_headline_ratios_match_paper_directions(self):
+        results = fig13_power_area.run()
+        ratios = fig13_power_area.headline_ratios(results)
+        assert ratios["sparse_area_ratio_1024"] > 4
+        assert ratios["duplicate_tag_energy_ratio_16"] > 10
+        assert ratios["tagless_energy_ratio_1024"] > 10
+
+    def test_fig13_format_table(self):
+        results = fig13_power_area.run(core_counts=(16,))
+        text = fig13_power_area.format_table(results)
+        assert "Cuckoo Coarse" in text
+
+
+class TestFig07:
+    def test_wider_tables_need_fewer_attempts_at_high_occupancy(self):
+        results = fig07_hash_characteristics.run(
+            arities=(2, 4), capacity=2048, num_keys=4096, seed=3
+        )
+        series2 = results[2].as_series()
+        series4 = results[4].as_series()
+        # Compare around 70-90% occupancy: a 2-ary cuckoo hash is already past
+        # its usable load factor (~50%) there while 4-ary still inserts easily.
+        common_bins = [b for b in series2 if b in series4 and 0.7 < b < 0.9]
+        assert common_bins
+        for bin_ in common_bins:
+            assert series4[bin_][0] <= series2[bin_][0]
+            assert series4[bin_][1] <= series2[bin_][1]
+
+    def test_low_occupancy_attempts_near_one_and_no_failures(self):
+        results = fig07_hash_characteristics.run(
+            arities=(3,), capacity=2048, num_keys=4096, seed=1
+        )
+        series = results[3].as_series()
+        low_bins = [b for b in series if b < 0.5]
+        assert low_bins
+        for bin_ in low_bins:
+            attempts, failures = series[bin_]
+            assert attempts < 1.6
+            assert failures == 0.0
+
+    def test_two_ary_fails_at_high_occupancy(self):
+        results = fig07_hash_characteristics.run(
+            arities=(2,), capacity=1024, num_keys=4096, seed=2
+        )
+        series = results[2].as_series()
+        high = [failures for b, (_, failures) in series.items() if b > 0.9]
+        assert high and max(high) > 0.0
+
+    def test_format_table(self):
+        results = fig07_hash_characteristics.run(
+            arities=(2, 3), capacity=512, num_keys=1024
+        )
+        text = fig07_hash_characteristics.format_table(results)
+        assert "2-ary attempts" in text
+        assert "3-ary failure" in text
+
+
+class TestFig08:
+    def test_occupancy_orderings(self):
+        result = fig08_occupancy.run(workloads=FAST_WORKLOADS, **FAST)
+        # ocean has a nearly fully private footprint: highest Private-L2
+        # occupancy of the three, and close to 1x.
+        assert result.private_l2["ocean"] > 0.8
+        assert result.private_l2["ocean"] >= result.private_l2["Oracle"]
+        # Server workloads share instructions/data: Shared-L2 occupancy well
+        # below 1x.
+        assert result.shared_l2["Oracle"] < 0.9
+        for value in list(result.shared_l2.values()) + list(result.private_l2.values()):
+            assert 0.0 < value <= 1.1
+
+    def test_format_table(self):
+        result = fig08_occupancy.run(workloads=["Oracle"], **FAST)
+        text = fig08_occupancy.format_table(result)
+        assert "Oracle" in text and "Shared L2" in text
+
+
+class TestFig09Fig10Fig11:
+    def test_fig09_underprovisioning_hurts(self):
+        result = fig09_provisioning.run(workloads=["Oracle"], **FAST)
+        for points in (result.shared_l2, result.private_l2):
+            by_factor = {p.provisioning: p for p in points}
+            most = by_factor[max(by_factor)]
+            least = by_factor[min(by_factor)]
+            assert least.average_insertion_attempts >= most.average_insertion_attempts
+            assert least.forced_invalidation_rate >= most.forced_invalidation_rate
+            # Generously provisioned designs do not invalidate.
+            assert most.forced_invalidation_rate == pytest.approx(0.0, abs=1e-6)
+
+    def test_fig09_format_table(self):
+        result = fig09_provisioning.run(workloads=["Oracle"], **FAST)
+        text = fig09_provisioning.format_table(result)
+        assert "Figure 9" in text and "(2x)" in text
+
+    def test_fig10_attempts_reasonable(self):
+        result = fig10_insertion_attempts.run(workloads=FAST_WORKLOADS, **FAST)
+        for per_workload in result.configurations().values():
+            for value in per_workload.values():
+                assert 1.0 <= value < 5.0
+
+    def test_fig10_format_table(self):
+        result = fig10_insertion_attempts.run(workloads=["ocean"], **FAST)
+        assert "ocean" in fig10_insertion_attempts.format_table(result)
+
+    def test_fig11_distribution_decays(self):
+        result = fig11_worst_case.run(scale=64, measure_accesses=6_000)
+        for label, distribution in result.distributions.items():
+            assert distribution, f"no insertions recorded for {label}"
+            assert distribution.get(1, 0.0) > 0.5
+            assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-6)
+            # Essentially no mass at the 32-attempt cut-off.
+            assert distribution.get(32, 0.0) < 0.05
+
+    def test_fig11_format_table(self):
+        result = fig11_worst_case.run(scale=64, measure_accesses=3_000)
+        text = fig11_worst_case.format_table(result)
+        assert "Oracle (Shared L2)" in text
+
+
+class TestFig12:
+    def test_invalidation_ordering_matches_paper(self):
+        result = fig12_invalidations.run(workloads=["Qry17", "ocean"], **FAST)
+        for rates in result.configurations().values():
+            sparse2_mean = sum(rates["Sparse 2x"].values()) / len(rates["Sparse 2x"])
+            sparse8_mean = sum(rates["Sparse 8x"].values()) / len(rates["Sparse 8x"])
+            skewed_mean = sum(rates["Skewed 2x"].values()) / len(rates["Skewed 2x"])
+            cuckoo_mean = sum(rates["Cuckoo"].values()) / len(rates["Cuckoo"])
+            # The Cuckoo directory is near-zero despite the smallest capacity.
+            # (On the tiny scale-64 test system a handful of overflows can
+            # occur — the paper itself reports 0.08% for ocean at 1.5x — so a
+            # small absolute tolerance is allowed against the
+            # 2x-8x-provisioned baselines.)
+            assert cuckoo_mean < 0.005
+            assert cuckoo_mean <= sparse2_mean + 1e-9
+            assert cuckoo_mean <= sparse8_mean + 2e-3
+            assert cuckoo_mean <= skewed_mean + 2e-3
+            assert skewed_mean <= sparse2_mean + 1e-9
+            assert sparse8_mean <= sparse2_mean + 1e-9
+
+    def test_sparse_2x_actually_conflicts(self):
+        result = fig12_invalidations.run(workloads=["ocean"], **FAST)
+        assert max(result.private_l2["Sparse 2x"].values()) > 0.0
+
+    def test_format_table(self):
+        result = fig12_invalidations.run(workloads=["ocean"], **FAST)
+        text = fig12_invalidations.format_table(result)
+        assert "Sparse 2x" in text and "Cuckoo" in text

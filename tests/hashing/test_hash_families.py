@@ -1,0 +1,163 @@
+"""Tests for the skewing and strong hash families."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hashing.base import validate_distinctness
+from repro.hashing.skewing import SkewingHashFamily, skew_sigma
+from repro.hashing.strong import Sha256HashFamily, StrongHashFamily, mix64
+
+
+class TestSkewSigma:
+    def test_is_bijective_on_small_fields(self):
+        for bits in (2, 3, 4, 6, 8):
+            values = {skew_sigma(v, bits) for v in range(1 << bits)}
+            assert len(values) == 1 << bits
+
+    def test_zero_maps_to_zero(self):
+        assert skew_sigma(0, 8) == 0
+
+    def test_zero_bits_is_zero(self):
+        assert skew_sigma(5, 0) == 0
+
+    def test_stays_within_field(self):
+        for value in range(256):
+            assert 0 <= skew_sigma(value, 8) < 256
+
+
+class TestSkewingHashFamily:
+    def test_indices_in_range(self):
+        family = SkewingHashFamily(num_ways=4, num_sets=64)
+        for address in range(0, 100_000, 977):
+            for way in range(4):
+                assert 0 <= family.index(way, address) < 64
+
+    def test_requires_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            SkewingHashFamily(num_ways=4, num_sets=100)
+
+    def test_single_set_always_index_zero(self):
+        family = SkewingHashFamily(num_ways=2, num_sets=1)
+        assert family.index(0, 12345) == 0
+        assert family.index(1, 12345) == 0
+
+    def test_rejects_negative_address(self):
+        family = SkewingHashFamily(num_ways=2, num_sets=16)
+        with pytest.raises(ValueError):
+            family.index(0, -1)
+
+    def test_rejects_out_of_range_way(self):
+        family = SkewingHashFamily(num_ways=2, num_sets=16)
+        with pytest.raises(IndexError):
+            family.index(2, 5)
+
+    def test_ways_produce_different_functions(self):
+        family = SkewingHashFamily(num_ways=4, num_sets=256)
+        addresses = list(range(1, 4096, 7))
+        distinctness = validate_distinctness(family, addresses)
+        assert distinctness > 0.9
+
+    def test_deterministic(self):
+        family = SkewingHashFamily(num_ways=3, num_sets=128)
+        assert family.indices(0xDEADBEEF) == family.indices(0xDEADBEEF)
+
+    def test_spreads_sequential_addresses(self):
+        """Consecutive block addresses should spread across many sets."""
+        family = SkewingHashFamily(num_ways=2, num_sets=64)
+        indices = {family.index(0, address) for address in range(256)}
+        assert len(indices) > 32
+
+    def test_offset_bits_are_ignored(self):
+        family_plain = SkewingHashFamily(num_ways=2, num_sets=64)
+        family_offset = SkewingHashFamily(num_ways=2, num_sets=64, offset_bits=6)
+        assert family_offset.index(0, 0x1234 << 6) == family_plain.index(0, 0x1234)
+
+    def test_indices_helper_matches_index(self):
+        family = SkewingHashFamily(num_ways=4, num_sets=32)
+        address = 0xABCDE
+        assert family.indices(address) == [family.index(w, address) for w in range(4)]
+
+    @given(address=st.integers(min_value=0, max_value=(1 << 48) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_index_always_valid(self, address):
+        family = SkewingHashFamily(num_ways=4, num_sets=128)
+        for way in range(4):
+            assert 0 <= family.index(way, address) < 128
+
+
+class TestMix64:
+    def test_is_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_changes_single_bit_flips_many_output_bits(self):
+        baseline = mix64(0x0123456789ABCDEF)
+        flipped = mix64(0x0123456789ABCDEE)
+        differing = bin(baseline ^ flipped).count("1")
+        assert differing > 16
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= mix64((1 << 64) - 1) < (1 << 64)
+
+    @given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+    @settings(max_examples=200, deadline=None)
+    def test_range(self, value):
+        assert 0 <= mix64(value) < (1 << 64)
+
+
+class TestStrongHashFamily:
+    def test_indices_in_range(self):
+        family = StrongHashFamily(num_ways=4, num_sets=100, seed=3)
+        for address in range(0, 50_000, 733):
+            for way in range(4):
+                assert 0 <= family.index(way, address) < 100
+
+    def test_different_seeds_give_different_functions(self):
+        a = StrongHashFamily(num_ways=2, num_sets=1024, seed=1)
+        b = StrongHashFamily(num_ways=2, num_sets=1024, seed=2)
+        differences = sum(
+            1 for address in range(2000) if a.index(0, address) != b.index(0, address)
+        )
+        assert differences > 1500
+
+    def test_ways_are_independent(self):
+        family = StrongHashFamily(num_ways=2, num_sets=1024, seed=0)
+        same = sum(
+            1
+            for address in range(4000)
+            if family.index(0, address) == family.index(1, address)
+        )
+        # Expect ~ 4000/1024 collisions for independent functions.
+        assert same < 40
+
+    def test_distribution_is_roughly_uniform(self):
+        family = StrongHashFamily(num_ways=1, num_sets=16, seed=7)
+        counts = [0] * 16
+        total = 16_000
+        for address in range(total):
+            counts[family.index(0, address)] += 1
+        expected = total / 16
+        for count in counts:
+            assert abs(count - expected) < expected * 0.25
+
+    def test_rejects_negative_address(self):
+        family = StrongHashFamily(num_ways=2, num_sets=16)
+        with pytest.raises(ValueError):
+            family.index(0, -5)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            StrongHashFamily(num_ways=0, num_sets=16)
+        with pytest.raises(ValueError):
+            StrongHashFamily(num_ways=2, num_sets=0)
+
+    def test_sha_reference_agrees_on_range(self):
+        family = Sha256HashFamily(num_ways=2, num_sets=64, seed=0)
+        for address in range(0, 1000, 37):
+            for way in range(2):
+                assert 0 <= family.index(way, address) < 64
+
+    def test_non_power_of_two_sets_supported(self):
+        family = StrongHashFamily(num_ways=3, num_sets=1000, seed=0)
+        indices = {family.index(0, a) for a in range(10_000)}
+        assert max(indices) < 1000
+        assert len(indices) > 900

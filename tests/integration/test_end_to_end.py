@@ -1,0 +1,163 @@
+"""End-to-end integration tests across the whole stack.
+
+These tests replay Table 2 workloads through the full coherence system with
+different directory organizations and check cross-cutting invariants:
+directory/cache inclusion, identical occupancy regardless of organization,
+the paper's qualitative invalidation ordering, and deterministic replay.
+"""
+
+import pytest
+
+from repro.config import CacheLevel
+from repro.coherence.simulator import TraceSimulator
+from repro.coherence.system import TiledCMP
+from repro.experiments import common
+from repro.workloads.suite import get_workload
+
+SCALE = 64
+MEASURE = 4_000
+
+
+def simulate(workload_name, tracked_level, factory_builder, seed=0, measure=MEASURE):
+    system_config = common.scaled_system(tracked_level, scale=SCALE)
+    workload = get_workload(workload_name)
+    factory = factory_builder(system_config)
+    system = TiledCMP(system_config, factory)
+    simulator = TraceSimulator(
+        system, warmup_accesses=workload.recommended_warmup(system_config)
+    )
+    result = simulator.run(workload.trace(system_config, seed=seed), max_accesses=measure)
+    return system, result
+
+
+class TestInclusionAcrossOrganizations:
+    @pytest.mark.parametrize(
+        "factory_builder",
+        [
+            lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=1.0),
+            lambda cfg: common.sparse_factory(cfg, ways=8, provisioning=2.0),
+            lambda cfg: common.skewed_factory(cfg, ways=4, provisioning=2.0),
+        ],
+        ids=["cuckoo", "sparse", "skewed"],
+    )
+    def test_directory_tracks_every_cached_block(self, factory_builder):
+        system, _ = simulate("Oracle", CacheLevel.L1, factory_builder)
+        assert system.check_inclusion() == []
+
+    def test_inclusion_private_l2_with_scientific_workload(self):
+        system, _ = simulate(
+            "ocean",
+            CacheLevel.L2,
+            lambda cfg: common.cuckoo_factory(cfg, ways=3, provisioning=1.5),
+        )
+        assert system.check_inclusion() == []
+
+
+class TestOrganizationIndependentMetrics:
+    def test_occupancy_is_a_workload_property_not_an_organization_property(self):
+        """Figure 8's occupancy depends on the workload, not on which
+        (sufficiently provisioned) organization tracks it."""
+        runs = {}
+        for name, builder in (
+            ("cuckoo", lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=2.0)),
+            ("sparse", lambda cfg: common.sparse_factory(cfg, ways=8, provisioning=2.0)),
+        ):
+            system, result = simulate("DB2", CacheLevel.L1, builder)
+            entries = sum(d.entry_count() for d in system.directories)
+            frames = (
+                system.config.num_tracked_caches
+                * system.config.tracked_cache_config.num_frames
+            )
+            runs[name] = entries / frames
+        assert runs["cuckoo"] == pytest.approx(runs["sparse"], abs=0.05)
+
+    def test_deterministic_replay(self):
+        results = []
+        for _ in range(2):
+            _, result = simulate(
+                "Apache",
+                CacheLevel.L1,
+                lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=1.0),
+                seed=7,
+            )
+            results.append(result)
+        assert results[0].directory_stats.insertions == results[1].directory_stats.insertions
+        assert results[0].directory_stats.insertion_attempts == (
+            results[1].directory_stats.insertion_attempts
+        )
+        assert results[0].cache_hit_rate == results[1].cache_hit_rate
+
+    def test_different_seeds_change_the_stream(self):
+        _, a = simulate(
+            "Apache",
+            CacheLevel.L1,
+            lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=1.0),
+            seed=1,
+        )
+        _, b = simulate(
+            "Apache",
+            CacheLevel.L1,
+            lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=1.0),
+            seed=2,
+        )
+        assert (
+            a.directory_stats.insertions != b.directory_stats.insertions
+            or a.directory_stats.insertion_attempts != b.directory_stats.insertion_attempts
+        )
+
+
+class TestPaperHeadlineBehaviour:
+    def test_cuckoo_eliminates_invalidations_where_sparse_conflicts(self):
+        """The paper's core claim on real workloads (Figure 12): the Cuckoo
+        directory at 1x-1.5x capacity has (near-)zero forced invalidations
+        while a 2x Sparse directory conflicts."""
+        _, sparse = simulate(
+            "ocean",
+            CacheLevel.L2,
+            lambda cfg: common.sparse_factory(cfg, ways=8, provisioning=2.0),
+        )
+        _, cuckoo = simulate(
+            "ocean",
+            CacheLevel.L2,
+            lambda cfg: common.cuckoo_factory(cfg, ways=3, provisioning=1.5),
+        )
+        assert sparse.forced_invalidation_rate > 0.0
+        assert cuckoo.forced_invalidation_rate < sparse.forced_invalidation_rate
+        assert cuckoo.forced_invalidation_rate < 0.005
+
+    def test_cuckoo_average_attempts_below_two_for_chosen_designs(self):
+        """Figure 10: despite 1x sizing the average stays well under two."""
+        for workload, level, ways, provisioning in (
+            ("Oracle", CacheLevel.L1, 4, 1.0),
+            ("ocean", CacheLevel.L2, 3, 1.5),
+        ):
+            _, result = simulate(
+                workload,
+                level,
+                lambda cfg, w=ways, p=provisioning: common.cuckoo_factory(
+                    cfg, ways=w, provisioning=p
+                ),
+            )
+            assert 1.0 <= result.average_insertion_attempts < 2.5
+
+    def test_forced_invalidations_generate_extra_misses_not_errors(self):
+        """Forced invalidations must leave the system consistent: the
+        invalidated blocks simply miss again on their next access."""
+        system, result = simulate(
+            "Qry17",
+            CacheLevel.L2,
+            lambda cfg: common.sparse_factory(cfg, ways=8, provisioning=1.0),
+        )
+        assert result.directory_stats.forced_invalidations > 0
+        assert system.check_inclusion() == []
+
+    def test_invalidation_traffic_accounted(self):
+        system, result = simulate(
+            "DB2",
+            CacheLevel.L1,
+            lambda cfg: common.cuckoo_factory(cfg, ways=4, provisioning=1.0),
+        )
+        # OLTP has shared-data writes, so protocol invalidations must appear.
+        assert result.traffic.invalidation_messages > 0
+        assert result.traffic.total_messages > 0
+        assert result.traffic.hops > 0

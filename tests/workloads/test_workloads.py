@@ -1,0 +1,279 @@
+"""Tests for the synthetic workload generators (Table 2 suite)."""
+
+import itertools
+
+import pytest
+
+from repro.coherence.system import MemoryAccess
+from repro.workloads.base import AddressSpaceLayout, WorkloadCategory, ZipfSampler
+from repro.workloads.scientific import Em3dWorkload, OceanWorkload
+from repro.workloads.suite import WORKLOAD_NAMES, get_workload, iter_workloads, workload_table
+from repro.workloads.synthetic import SyntheticWorkload, UniformRandomWorkload
+
+import numpy as np
+
+
+def take(iterator, count):
+    return list(itertools.islice(iterator, count))
+
+
+class TestZipfSampler:
+    def test_uniform_when_alpha_zero(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(population=100, alpha=0.0, rng=rng)
+        samples = sampler.sample(10_000)
+        assert samples.min() >= 0 and samples.max() < 100
+        counts = np.bincount(samples, minlength=100)
+        assert counts.std() < counts.mean()
+
+    def test_skewed_when_alpha_positive(self):
+        rng = np.random.default_rng(0)
+        sampler = ZipfSampler(population=1000, alpha=1.0, rng=rng)
+        samples = sampler.sample(20_000)
+        counts = np.bincount(samples, minlength=1000)
+        # Rank 0 must be far more popular than rank 500.
+        assert counts[0] > 10 * max(counts[500], 1)
+
+    def test_zero_count(self):
+        sampler = ZipfSampler(10, 0.5, np.random.default_rng(0))
+        assert sampler.sample(0).size == 0
+
+    def test_rejects_bad_parameters(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 0.5, rng)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -1.0, rng)
+        sampler = ZipfSampler(10, 0.5, rng)
+        with pytest.raises(ValueError):
+            sampler.sample(-1)
+
+
+class TestAddressSpaceLayout:
+    def test_regions_do_not_overlap(self):
+        layout = AddressSpaceLayout(block_bytes=64)
+        a = layout.allocate(100)
+        b = layout.allocate(50)
+        assert b >= a + 100 * 64
+
+    def test_rejects_negative(self):
+        layout = AddressSpaceLayout(block_bytes=64)
+        with pytest.raises(ValueError):
+            layout.allocate(-1)
+
+
+class TestSyntheticWorkload:
+    def test_trace_yields_memory_accesses(self, tiny_shared_system):
+        workload = SyntheticWorkload("test", WorkloadCategory.OLTP)
+        accesses = take(workload.trace(tiny_shared_system, seed=1), 500)
+        assert len(accesses) == 500
+        for access in accesses:
+            assert isinstance(access, MemoryAccess)
+            assert 0 <= access.core < tiny_shared_system.num_cores
+            assert access.address >= 0
+
+    def test_deterministic_for_same_seed(self, tiny_shared_system):
+        workload = SyntheticWorkload("test", WorkloadCategory.OLTP)
+        a = take(workload.trace(tiny_shared_system, seed=5), 200)
+        b = take(workload.trace(tiny_shared_system, seed=5), 200)
+        assert a == b
+
+    def test_different_seeds_differ(self, tiny_shared_system):
+        workload = SyntheticWorkload("test", WorkloadCategory.OLTP)
+        a = take(workload.trace(tiny_shared_system, seed=1), 200)
+        b = take(workload.trace(tiny_shared_system, seed=2), 200)
+        assert a != b
+
+    def test_instruction_fraction_respected(self, tiny_shared_system):
+        workload = SyntheticWorkload(
+            "ifrac", WorkloadCategory.WEB, instr_fraction=0.5
+        )
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 5000)
+        fraction = sum(a.is_instruction for a in accesses) / len(accesses)
+        assert 0.4 < fraction < 0.6
+
+    def test_instructions_are_never_writes(self, tiny_shared_system):
+        workload = SyntheticWorkload("nw", WorkloadCategory.OLTP, instr_fraction=0.6)
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 2000)
+        assert all(not a.is_write for a in accesses if a.is_instruction)
+
+    def test_zero_instruction_fraction(self, tiny_shared_system):
+        workload = SyntheticWorkload("data-only", WorkloadCategory.DSS, instr_fraction=0.0)
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 1000)
+        assert all(not a.is_instruction for a in accesses)
+
+    def test_private_regions_are_mostly_accessed_by_owner(self, tiny_shared_system):
+        workload = SyntheticWorkload(
+            "priv",
+            WorkloadCategory.DSS,
+            instr_fraction=0.0,
+            shared_data_fraction=0.0,
+            migration_fraction=0.0,
+            private_footprint_l2x=0.5,
+        )
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 3000)
+        # With no sharing and no migration, every address is touched by
+        # exactly one core.
+        owners = {}
+        for access in accesses:
+            owners.setdefault(access.address, set()).add(access.core)
+        assert all(len(cores) == 1 for cores in owners.values())
+
+    def test_shared_region_is_accessed_by_many_cores(self, tiny_shared_system):
+        workload = SyntheticWorkload(
+            "shared",
+            WorkloadCategory.OLTP,
+            instr_fraction=0.0,
+            shared_data_fraction=1.0,
+        )
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 2000)
+        addresses_by_core = {}
+        for access in accesses:
+            addresses_by_core.setdefault(access.core, set()).add(access.address)
+        overlap = set.intersection(*addresses_by_core.values())
+        assert overlap
+
+    def test_write_fraction_bounds(self, tiny_shared_system):
+        workload = SyntheticWorkload(
+            "wf",
+            WorkloadCategory.OLTP,
+            instr_fraction=0.0,
+            shared_data_fraction=1.0,
+            shared_write_fraction=1.0,
+        )
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 500)
+        assert all(a.is_write for a in accesses)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticWorkload("bad", WorkloadCategory.OLTP, instr_fraction=1.5)
+        with pytest.raises(ValueError):
+            SyntheticWorkload("bad", WorkloadCategory.OLTP, private_footprint_l2x=-1)
+        with pytest.raises(ValueError):
+            SyntheticWorkload("bad", WorkloadCategory.OLTP, zipf_alpha=-0.1)
+
+    def test_recommended_warmup_scales_with_cache_size(
+        self, tiny_shared_system, tiny_private_system
+    ):
+        workload = SyntheticWorkload("w", WorkloadCategory.OLTP)
+        assert workload.recommended_warmup(tiny_private_system) > 0
+        assert workload.recommended_warmup(tiny_shared_system) != (
+            workload.recommended_warmup(tiny_private_system)
+        )
+
+
+class TestUniformRandomWorkload:
+    def test_addresses_within_footprint(self, tiny_shared_system):
+        workload = UniformRandomWorkload(footprint_blocks=128)
+        accesses = take(workload.trace(tiny_shared_system, seed=0), 1000)
+        base = min(a.address for a in accesses)
+        assert all(a.address < base + 128 * 64 for a in accesses)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(footprint_blocks=0)
+        with pytest.raises(ValueError):
+            UniformRandomWorkload(write_fraction=2.0)
+
+
+class TestScientificWorkloads:
+    def test_em3d_reads_then_writes_local_node(self, tiny_private_system):
+        workload = Em3dWorkload(nodes_per_core_l2x=0.5, degree=2)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 300)
+        writes = [a for a in accesses if a.is_write]
+        reads = [a for a in accesses if not a.is_write]
+        # Degree-2 updates: two neighbour reads per one node write.
+        assert len(reads) == pytest.approx(2 * len(writes), abs=3)
+
+    def test_em3d_remote_fraction_zero_keeps_accesses_local(self, tiny_private_system):
+        workload = Em3dWorkload(nodes_per_core_l2x=0.5, remote_fraction=0.0)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 600)
+        region_blocks = max(
+            1, int(0.5 * tiny_private_system.l2_config.num_frames)
+        )
+        region_bytes = region_blocks * 64
+        base = min(a.address for a in accesses)
+        for access in accesses:
+            region_owner = (access.address - base) // region_bytes
+            assert region_owner == access.core
+
+    def test_em3d_remote_fraction_produces_sharing(self, tiny_private_system):
+        workload = Em3dWorkload(nodes_per_core_l2x=0.5, remote_fraction=0.5)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 2000)
+        touched_by = {}
+        for access in accesses:
+            touched_by.setdefault(access.address, set()).add(access.core)
+        shared = [a for a, cores in touched_by.items() if len(cores) > 1]
+        assert shared
+
+    def test_em3d_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Em3dWorkload(nodes_per_core_l2x=0)
+        with pytest.raises(ValueError):
+            Em3dWorkload(degree=0)
+        with pytest.raises(ValueError):
+            Em3dWorkload(remote_fraction=1.5)
+
+    def test_ocean_footprint_is_mostly_private(self, tiny_private_system):
+        workload = OceanWorkload(grid_l2x=0.5)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 8000)
+        touched_by = {}
+        for access in accesses:
+            touched_by.setdefault(access.address, set()).add(access.core)
+        shared_blocks = sum(1 for cores in touched_by.values() if len(cores) > 1)
+        assert shared_blocks / len(touched_by) < 0.25
+
+    def test_ocean_has_boundary_sharing(self, tiny_private_system):
+        workload = OceanWorkload(grid_l2x=0.5)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 20_000)
+        touched_by = {}
+        for access in accesses:
+            touched_by.setdefault(access.address, set()).add(access.core)
+        assert any(len(cores) > 1 for cores in touched_by.values())
+
+    def test_ocean_writes_present(self, tiny_private_system):
+        workload = OceanWorkload(grid_l2x=0.25)
+        accesses = take(workload.trace(tiny_private_system, seed=0), 2000)
+        assert any(a.is_write for a in accesses)
+
+    def test_ocean_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OceanWorkload(grid_l2x=0)
+        with pytest.raises(ValueError):
+            OceanWorkload(points_per_block=0)
+
+
+class TestSuite:
+    def test_all_nine_workloads_present(self):
+        assert len(WORKLOAD_NAMES) == 9
+        assert WORKLOAD_NAMES[0] == "DB2"
+        assert WORKLOAD_NAMES[-1] == "ocean"
+
+    def test_get_workload_returns_named_instances(self):
+        for name in WORKLOAD_NAMES:
+            workload = get_workload(name)
+            assert workload.name == name
+
+    def test_get_workload_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_workload("SPECjbb")
+
+    def test_iter_order_matches_names(self):
+        assert [w.name for w in iter_workloads()] == WORKLOAD_NAMES
+
+    def test_categories_match_table2(self):
+        assert get_workload("DB2").category is WorkloadCategory.OLTP
+        assert get_workload("Qry17").category is WorkloadCategory.DSS
+        assert get_workload("Zeus").category is WorkloadCategory.WEB
+        assert get_workload("ocean").category is WorkloadCategory.SCIENTIFIC
+
+    def test_workload_table_rows(self):
+        rows = workload_table()
+        assert len(rows) == 9
+        assert {"name", "category", "description"} <= set(rows[0])
+
+    def test_every_suite_workload_generates_valid_accesses(self, tiny_shared_system):
+        for workload in iter_workloads():
+            accesses = take(workload.trace(tiny_shared_system, seed=0), 64)
+            assert len(accesses) == 64
+            assert all(isinstance(a, MemoryAccess) for a in accesses)
