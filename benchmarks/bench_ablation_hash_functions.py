@@ -8,10 +8,11 @@ while severely under-provisioned designs misbehave for both.
 from repro.experiments import ablation_hash_functions
 
 
-def test_hash_function_ablation(benchmark, bench_scale, bench_measure):
+def test_hash_function_ablation(benchmark, bench_scale, bench_measure, engine_runner):
     results = benchmark.pedantic(
         ablation_hash_functions.run,
-        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure),
+        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure,
+                    runner=engine_runner),
         rounds=1,
         iterations=1,
     )

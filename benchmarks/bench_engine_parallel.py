@@ -1,0 +1,82 @@
+"""Engine benchmark — parallel speedup and cache warm-up.
+
+Runs one representative grid (the Figure 8 points of the benchmark
+workload subset, on both system configurations) three ways and reports
+wall-clock:
+
+* **serial** — one in-process worker, no cache;
+* **parallel** — a worker pool (``$REPRO_BENCH_WORKERS`` or the CPU
+  count), no cache; results must be identical to the serial run;
+* **cold vs. warm cache** — the same grid against a fresh result store
+  twice: the first run simulates every point, the second simulates none.
+
+The parallel speedup assertion is deliberately loose (pool start-up and
+result pickling cost real time on small grids and single-core machines);
+the benchmark's main job is to report the numbers and to prove
+bit-identical results and a fully incremental warm run.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import ParallelRunner, ResultStore
+from repro.experiments import fig08_occupancy
+
+
+def _timed(runner: ParallelRunner, grid):
+    started = time.perf_counter()
+    report = runner.run(grid)
+    return report, time.perf_counter() - started
+
+
+def test_engine_parallel_speedup(
+    benchmark, bench_scale, bench_measure, bench_workloads, bench_workers
+):
+    grid = fig08_occupancy.grid(
+        workloads=bench_workloads, scale=bench_scale, measure_accesses=bench_measure
+    )
+    workers = bench_workers
+
+    serial_report, serial_seconds = _timed(ParallelRunner(workers=1), grid)
+    parallel_runner = ParallelRunner(workers=workers)
+    parallel_report = benchmark.pedantic(
+        parallel_runner.run, args=(grid,), rounds=1, iterations=1
+    )
+    parallel_seconds = parallel_report.elapsed_seconds
+    speedup = serial_seconds / parallel_seconds if parallel_seconds else float("inf")
+
+    print()
+    print(f"grid points:      {len(grid)}")
+    print(f"serial:           {serial_seconds:.2f}s")
+    print(f"parallel (x{workers}):   {parallel_seconds:.2f}s")
+    print(f"speedup:          {speedup:.2f}x")
+
+    # Workers rebuild every system from its spec: bit-identical results.
+    assert serial_report.ok and parallel_report.ok
+    assert parallel_report.results == serial_report.results
+    # The pool must not collapse into pathological slowdown.
+    if workers > 1 and len(grid) >= workers:
+        assert speedup > 0.5, (speedup, workers)
+
+
+def test_engine_cache_warm_run_simulates_nothing(
+    tmp_path, bench_scale, bench_measure, bench_workloads
+):
+    grid = fig08_occupancy.grid(
+        workloads=bench_workloads, scale=bench_scale, measure_accesses=bench_measure
+    )
+    store = ResultStore(tmp_path / "results.jsonl")
+    runner = ParallelRunner(workers=1, store=store)
+
+    cold_report, cold_seconds = _timed(runner, grid)
+    warm_report, warm_seconds = _timed(runner, grid)
+
+    print()
+    print(f"cold (all simulated): {cold_seconds:.2f}s ({cold_report.simulated} points)")
+    print(f"warm (all cached):    {warm_seconds:.4f}s ({warm_report.cached} hits)")
+
+    assert cold_report.simulated == len(grid) and cold_report.cached == 0
+    assert warm_report.simulated == 0 and warm_report.cached == len(grid)
+    assert warm_report.results == cold_report.results
+    assert warm_seconds < cold_seconds

@@ -10,13 +10,14 @@ Private-L2 configuration towards full occupancy (ocean being the extreme).
 from repro.experiments import fig08_occupancy
 
 
-def test_fig08_occupancy(benchmark, bench_scale, bench_measure, bench_workloads):
+def test_fig08_occupancy(benchmark, bench_scale, bench_measure, bench_workloads, engine_runner):
     result = benchmark.pedantic(
         fig08_occupancy.run,
         kwargs=dict(
             workloads=bench_workloads,
             scale=bench_scale,
             measure_accesses=bench_measure,
+            runner=engine_runner,
         ),
         rounds=1,
         iterations=1,

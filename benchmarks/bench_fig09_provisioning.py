@@ -9,13 +9,14 @@ designs versus the clean behaviour at 1x / 1.5x.
 from repro.experiments import fig09_provisioning
 
 
-def test_fig09_provisioning(benchmark, bench_scale, bench_measure, bench_workloads):
+def test_fig09_provisioning(benchmark, bench_scale, bench_measure, bench_workloads, engine_runner):
     result = benchmark.pedantic(
         fig09_provisioning.run,
         kwargs=dict(
             workloads=bench_workloads,
             scale=bench_scale,
             measure_accesses=bench_measure,
+            runner=engine_runner,
         ),
         rounds=1,
         iterations=1,

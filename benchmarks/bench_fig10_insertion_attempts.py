@@ -9,13 +9,14 @@ private-footprint-heavy workloads at the high end.
 from repro.experiments import fig10_insertion_attempts
 
 
-def test_fig10_insertion_attempts(benchmark, bench_scale, bench_measure, bench_workloads):
+def test_fig10_insertion_attempts(benchmark, bench_scale, bench_measure, bench_workloads, engine_runner):
     result = benchmark.pedantic(
         fig10_insertion_attempts.run,
         kwargs=dict(
             workloads=bench_workloads,
             scale=bench_scale,
             measure_accesses=bench_measure,
+            runner=engine_runner,
         ),
         rounds=1,
         iterations=1,

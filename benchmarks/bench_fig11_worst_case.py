@@ -9,10 +9,11 @@ cut-off.
 from repro.experiments import fig11_worst_case
 
 
-def test_fig11_worst_case(benchmark, bench_scale, bench_measure):
+def test_fig11_worst_case(benchmark, bench_scale, bench_measure, engine_runner):
     result = benchmark.pedantic(
         fig11_worst_case.run,
-        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure),
+        kwargs=dict(scale=bench_scale, measure_accesses=bench_measure,
+                    runner=engine_runner),
         rounds=1,
         iterations=1,
     )

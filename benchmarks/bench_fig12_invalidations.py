@@ -16,13 +16,14 @@ def _mean(values):
     return sum(values) / len(values) if values else 0.0
 
 
-def test_fig12_invalidations(benchmark, bench_scale, bench_measure, bench_workloads):
+def test_fig12_invalidations(benchmark, bench_scale, bench_measure, bench_workloads, engine_runner):
     result = benchmark.pedantic(
         fig12_invalidations.run,
         kwargs=dict(
             workloads=bench_workloads,
             scale=bench_scale,
             measure_accesses=bench_measure,
+            runner=engine_runner,
         ),
         rounds=1,
         iterations=1,

@@ -1,0 +1,71 @@
+"""Parallel experiment engine.
+
+The engine turns the library's simulation points into declarative,
+hashable :class:`RunSpec` values, executes whole :class:`RunGrid` sweeps
+across a :mod:`multiprocessing` pool (:class:`ParallelRunner`) and keeps
+every finished point in a content-addressed on-disk :class:`ResultStore`
+so re-runs are incremental and points are shared across experiments.
+
+Layers
+------
+``repro.engine.spec``
+    :class:`RunSpec` / :class:`RunGrid` — declarative simulation points.
+``repro.engine.execute``
+    :func:`execute_spec` — rebuilds a :class:`~repro.coherence.system.
+    TiledCMP` from a spec; the single code path used serially and in
+    workers, so results are bit-identical either way.
+``repro.engine.store``
+    :class:`ResultStore` — JSONL cache keyed by the spec content hash.
+``repro.engine.runner``
+    :class:`ParallelRunner` / :class:`GridReport` — sharded execution
+    with failure isolation and progress reporting.
+``repro.engine.cli``
+    The unified command line (``python -m repro.engine`` / ``repro-run``):
+    any figure experiment, ad-hoc sweeps, or the full suite.
+
+Quick start
+-----------
+>>> from repro.engine import ParallelRunner, RunGrid
+>>> grid = RunGrid.product(workload=["Oracle"], tracked_level=["L1", "L2"],
+...                        provisioning=2.0, scale=64, measure_accesses=2_000)
+>>> report = ParallelRunner(workers=1).run(grid)
+>>> len(report.results)
+2
+"""
+
+from repro.engine.execute import execute_payload, execute_spec
+from repro.engine.results import RunFailure, RunResult
+from repro.engine.runner import (
+    EngineError,
+    GridReport,
+    ParallelRunner,
+    default_workers,
+    serial_runner,
+)
+from repro.engine.spec import (
+    DEFAULT_MEASURE_ACCESSES,
+    DEFAULT_SCALE,
+    SPEC_VERSION,
+    RunGrid,
+    RunSpec,
+)
+from repro.engine.store import ResultStore, default_store_path
+
+__all__ = [
+    "SPEC_VERSION",
+    "DEFAULT_SCALE",
+    "DEFAULT_MEASURE_ACCESSES",
+    "RunSpec",
+    "RunGrid",
+    "RunResult",
+    "RunFailure",
+    "ResultStore",
+    "default_store_path",
+    "EngineError",
+    "GridReport",
+    "ParallelRunner",
+    "default_workers",
+    "serial_runner",
+    "execute_spec",
+    "execute_payload",
+]

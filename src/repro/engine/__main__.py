@@ -1,0 +1,8 @@
+"""``python -m repro.engine`` — the engine's unified command line."""
+
+import sys
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,356 @@
+"""Unified command line for the experiment engine.
+
+Installed as the ``repro-run`` console script and runnable as
+``python -m repro.engine``.  Four subcommands:
+
+``list``
+    The available experiments and whether they are simulation-based.
+``run``
+    Execute one or more figure experiments (or ``all``) through the
+    engine: points are sharded across workers and cached results are
+    reused, so a second invocation of the same experiment simulates
+    nothing.
+``sweep``
+    An ad-hoc cartesian sweep over workloads, configurations, directory
+    organizations, ways, provisioning factors and seeds.
+``cache``
+    Inspect, compact or clear the content-addressed result store.
+
+Examples
+--------
+::
+
+    repro-run list
+    repro-run run fig08 --workers 8 --scale 32 --measure-accesses 12000
+    repro-run run all --quiet
+    repro-run sweep --workloads Oracle,ocean --organizations cuckoo,sparse \
+        --ways 4 --provisionings 0.5,1.0,2.0 --scale 64
+    repro-run cache
+    repro-run cache --clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine.runner import ParallelRunner, default_workers
+from repro.engine.spec import (
+    DEFAULT_MEASURE_ACCESSES,
+    DEFAULT_SCALE,
+    ORGANIZATIONS,
+    RunGrid,
+    RunSpec,
+)
+from repro.engine.store import ResultStore, default_store_path
+
+__all__ = ["main", "build_parser"]
+
+
+def _csv(value: str) -> List[str]:
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _csv_int(value: str) -> List[int]:
+    return [int(item) for item in _csv(value)]
+
+
+def _csv_float(value: str) -> List[float]:
+    return [float(item) for item in _csv(value)]
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("engine options")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes (default: $REPRO_ENGINE_WORKERS or CPU count)",
+    )
+    group.add_argument(
+        "--serial",
+        action="store_true",
+        help="force in-process execution (same as --workers 1)",
+    )
+    group.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="result-store path (default: $REPRO_RESULT_STORE or "
+        "~/.cache/repro-cuckoo/results.jsonl)",
+    )
+    group.add_argument(
+        "--no-store",
+        action="store_true",
+        help="do not read or write the result store (always simulate)",
+    )
+    group.add_argument(
+        "--quiet", "-q", action="store_true", help="suppress per-point progress"
+    )
+
+
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("simulation options")
+    group.add_argument(
+        "--workloads",
+        type=_csv,
+        default=None,
+        metavar="A,B,...",
+        help="Table 2 workload subset (default: the full suite)",
+    )
+    group.add_argument(
+        "--scale",
+        type=int,
+        default=None,
+        help=f"cache-capacity scale factor (default {DEFAULT_SCALE}; 1 = full size)",
+    )
+    group.add_argument(
+        "--measure-accesses",
+        type=int,
+        default=None,
+        help=f"measured accesses per point (default {DEFAULT_MEASURE_ACCESSES})",
+    )
+    group.add_argument("--seed", type=int, default=None, help="trace seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description="Parallel, cached execution of the Cuckoo Directory experiments.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list the available experiments")
+
+    run_parser = subparsers.add_parser(
+        "run", help="run figure experiments through the engine"
+    )
+    run_parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment names (see 'repro-run list') or 'all'",
+    )
+    _add_sweep_options(run_parser)
+    _add_engine_options(run_parser)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run an ad-hoc cartesian sweep of simulation points"
+    )
+    sweep_parser.add_argument(
+        "--tracked-levels",
+        type=_csv,
+        default=["L1", "L2"],
+        metavar="L1,L2",
+        help="system configurations to sweep (default both)",
+    )
+    sweep_parser.add_argument(
+        "--organizations",
+        type=_csv,
+        default=["cuckoo"],
+        metavar=",".join(ORGANIZATIONS),
+        help="directory organizations to sweep (default cuckoo)",
+    )
+    sweep_parser.add_argument(
+        "--ways", type=_csv_int, default=[4], metavar="N,...", help="associativities"
+    )
+    sweep_parser.add_argument(
+        "--provisionings",
+        type=_csv_float,
+        default=[1.0],
+        metavar="F,...",
+        help="provisioning factors",
+    )
+    sweep_parser.add_argument(
+        "--seeds", type=_csv_int, default=[0], metavar="N,...", help="trace seeds"
+    )
+    _add_sweep_options(sweep_parser)
+    _add_engine_options(sweep_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear the result store"
+    )
+    cache_parser.add_argument("--store", default=None, metavar="PATH")
+    cache_parser.add_argument(
+        "--clear", action="store_true", help="delete every cached result"
+    )
+    cache_parser.add_argument(
+        "--compact", action="store_true", help="drop superseded records on disk"
+    )
+    return parser
+
+
+def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    store = None
+    if not args.no_store:
+        store = ResultStore(args.store) if args.store else ResultStore()
+    workers = 1 if args.serial else args.workers
+
+    progress = None
+    if not args.quiet:
+
+        def progress(event: str, done: int, total: int, spec: RunSpec) -> None:
+            print(f"  [{done}/{total}] {event:9s} {spec.label()}", file=sys.stderr)
+
+    return ParallelRunner(workers=workers, store=store, progress=progress)
+
+
+def _cmd_list() -> int:
+    from repro.engine.registry import EXPERIMENTS
+
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, experiment in EXPERIMENTS.items():
+        kind = "simulation" if experiment.simulated else "analytical"
+        print(f"{name:<{width}}  [{kind}]  {experiment.title}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.engine.registry import EXPERIMENTS, run_experiment
+
+    names = list(args.experiments)
+    if len(names) == 1 and names[0] in ("all", "suite"):
+        names = list(EXPERIMENTS)
+    unknown = [name for name in names if name not in EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(expected: {', '.join(EXPERIMENTS)} or 'all')",
+            file=sys.stderr,
+        )
+        return 2
+
+    runner = _make_runner(args)
+    failures = 0
+    for name in names:
+        experiment = EXPERIMENTS[name]
+        print(f"== {experiment.title}", file=sys.stderr)
+        try:
+            _result, table = run_experiment(
+                name,
+                runner=runner,
+                workloads=args.workloads,
+                scale=args.scale,
+                measure_accesses=args.measure_accesses,
+                seed=args.seed,
+            )
+        except Exception as exc:
+            failures += 1
+            print(f"{name} failed: {exc}", file=sys.stderr)
+            continue
+        print(table)
+        print()
+    _print_engine_summary(runner)
+    return 1 if failures else 0
+
+
+def _sweep_table(specs: Sequence[RunSpec], report) -> str:
+    from repro.analysis.tables import format_percentage, render_table
+
+    headers = [
+        "Workload", "Config", "Organization", "Ways", "Provisioning", "Seed",
+        "Avg attempts", "Invalidation rate", "Occupancy (vs 1x)",
+    ]
+    rows = []
+    for spec in specs:
+        try:
+            result = report.result_for(spec)
+        except Exception as exc:
+            rows.append(
+                [spec.workload, spec.tracked_level, spec.organization, spec.ways,
+                 f"{spec.provisioning:g}x", spec.seed, "failed", str(exc)[:40], "-"]
+            )
+            continue
+        rows.append(
+            [
+                spec.workload,
+                spec.tracked_level,
+                spec.organization,
+                spec.ways,
+                f"{spec.provisioning:g}x",
+                spec.seed,
+                f"{result.average_insertion_attempts:.2f}",
+                format_percentage(result.forced_invalidation_rate, digits=3),
+                format_percentage(result.occupancy_vs_worst_case, digits=1),
+            ]
+        )
+    return render_table(headers, rows, title="Ad-hoc sweep")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    workloads = args.workloads if args.workloads is not None else list(WORKLOAD_NAMES)
+    try:
+        grid = RunGrid.product(
+            workload=workloads,
+            tracked_level=args.tracked_levels,
+            organization=args.organizations,
+            ways=args.ways,
+            provisioning=args.provisionings,
+            seed=args.seeds,
+            scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+            measure_accesses=(
+                args.measure_accesses
+                if args.measure_accesses is not None
+                else DEFAULT_MEASURE_ACCESSES
+            ),
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"invalid sweep: {exc}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    report = runner.run(grid)
+    print(_sweep_table(grid.specs, report))
+    _print_engine_summary(runner, report)
+    return 0 if report.ok else 1
+
+
+def _print_engine_summary(runner: ParallelRunner, report=None) -> None:
+    store = runner.store
+    parts = []
+    if report is not None:
+        parts.append(report.summary())
+    if store is not None:
+        parts.append(
+            f"store {store.path}: {len(store)} entries, "
+            f"{store.hits} hits / {store.misses} misses this run"
+        )
+    if parts:
+        print(f"engine: {'; '.join(parts)}", file=sys.stderr)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store) if args.store else ResultStore()
+    if args.clear:
+        entries = len(store)
+        store.clear()
+        print(f"cleared {entries} cached results from {store.path}")
+        return 0
+    if args.compact:
+        store.compact()
+        print(f"compacted {store.path} to {len(store)} records")
+        return 0
+    size = store.path.stat().st_size if store.path.exists() else 0
+    print(f"store:   {store.path}")
+    print(f"entries: {len(store)}")
+    print(f"size:    {size} bytes")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

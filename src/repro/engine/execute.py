@@ -1,0 +1,113 @@
+"""Execution of a single :class:`~repro.engine.spec.RunSpec`.
+
+:func:`execute_spec` is the one place that turns a declarative spec back
+into a live :class:`~repro.coherence.system.TiledCMP` simulation.  Both the
+serial path and the :mod:`multiprocessing` workers of
+:class:`~repro.engine.runner.ParallelRunner` go through it, so a point's
+result is identical no matter where it ran: the worker rebuilds the whole
+system from the spec and replays the same seeded trace.
+
+The imports of :mod:`repro.experiments.common` are deferred to call time:
+the experiments package imports the engine (drivers declare their grids
+through it), so importing it back at module level would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from typing import Callable, Dict
+
+from repro.engine.results import RunResult
+from repro.engine.spec import RunSpec
+
+__all__ = ["execute_spec", "execute_payload", "directory_factory_for_spec"]
+
+
+def directory_factory_for_spec(spec: RunSpec, system: "object") -> Callable:
+    """Build the per-slice directory factory a spec describes."""
+    from repro.experiments import common
+
+    if spec.organization == "sparse":
+        return common.sparse_factory(system, ways=spec.ways, provisioning=spec.provisioning)
+    if spec.organization == "skewed":
+        return common.skewed_factory(system, ways=spec.ways, provisioning=spec.provisioning)
+    if spec.organization != "cuckoo":  # defensive; RunSpec already validates
+        raise ValueError(f"unknown organization {spec.organization!r}")
+    if spec.hash_family is None:
+        return common.cuckoo_factory(system, ways=spec.ways, provisioning=spec.provisioning)
+
+    # Hash-family override (Section 5.5 ablation): same geometry resolution
+    # as cuckoo_factory, explicit hash family per slice.
+    from repro.config import DirectoryConfig
+    from repro.core.cuckoo_directory import CuckooDirectory
+    from repro.hashing.skewing import SkewingHashFamily
+    from repro.hashing.strong import StrongHashFamily
+
+    sets = DirectoryConfig.for_provisioning(
+        system, ways=spec.ways, provisioning=spec.provisioning
+    ).sets
+
+    def factory(num_caches: int, slice_id: int):
+        if spec.hash_family == "skewing":
+            hashes = SkewingHashFamily(spec.ways, sets)
+        else:
+            hashes = StrongHashFamily(spec.ways, sets, seed=slice_id + 1)
+        return CuckooDirectory(
+            num_caches=num_caches, num_sets=sets, num_ways=spec.ways, hash_family=hashes
+        )
+
+    return factory
+
+
+def execute_spec(spec: RunSpec) -> RunResult:
+    """Simulate one point from scratch and return its condensed result."""
+    from repro.config import CacheLevel
+    from repro.experiments import common
+    from repro.workloads.suite import get_workload
+
+    started = time.perf_counter()
+    system = common.scaled_system(
+        CacheLevel(spec.tracked_level), num_cores=spec.num_cores, scale=spec.scale
+    )
+    workload = get_workload(spec.workload)
+    factory = directory_factory_for_spec(spec, system)
+    run = common.run_workload(
+        workload,
+        system,
+        factory,
+        measure_accesses=spec.measure_accesses,
+        warmup_accesses=spec.warmup_accesses,
+        seed=spec.seed,
+        occupancy_sample_interval=spec.occupancy_sample_interval,
+    )
+    elapsed = time.perf_counter() - started
+    return RunResult.from_workload_run(spec, run, elapsed_seconds=elapsed)
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry point: spec dict in, outcome dict out.
+
+    Exceptions never escape — a failing point is reported as a ``"failed"``
+    outcome so one bad spec cannot take down the pool or the rest of the
+    grid (failure isolation).
+    """
+    try:
+        spec = RunSpec.from_dict(payload)
+    except Exception as exc:  # pragma: no cover - malformed payloads
+        return {
+            "status": "failed",
+            "spec": dict(payload),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+    try:
+        result = execute_spec(spec)
+        return {"status": "ok", "result": result.to_dict()}
+    except Exception as exc:
+        return {
+            "status": "failed",
+            "spec": spec.to_dict(),
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }

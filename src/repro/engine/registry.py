@@ -1,0 +1,169 @@
+"""Registry of the paper's experiments for the unified CLI.
+
+Each entry binds an experiment name to its driver module's ``run`` /
+``format_table`` pair and records which engine-level options the driver
+understands.  Simulation-based experiments accept a
+:class:`~repro.engine.runner.ParallelRunner` and the usual scaling knobs;
+the analytical experiments (Figures 4 and 13) and the standalone hash
+characterisation (Figure 7) have no simulation points to shard or cache
+and are simply invoked.
+
+This module deliberately lives *outside* ``repro.engine.__init__``: it
+imports the experiment drivers, which in turn import the engine, so it is
+only pulled in by the CLI entry points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.engine.runner import ParallelRunner
+from repro.engine.spec import RunGrid
+from repro.experiments import (
+    ablation_hash_functions,
+    fig04_scalability,
+    fig07_hash_characteristics,
+    fig08_occupancy,
+    fig09_provisioning,
+    fig10_insertion_attempts,
+    fig11_worst_case,
+    fig12_invalidations,
+    fig13_power_area,
+)
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One named, CLI-runnable experiment."""
+
+    name: str
+    title: str
+    simulated: bool
+    run: Callable
+    format_table: Callable
+    options: Tuple[str, ...] = ()
+    grid: Optional[Callable] = None
+
+
+def _experiments() -> Dict[str, Experiment]:
+    sim_options = ("workloads", "scale", "measure_accesses", "seed", "runner")
+    entries = [
+        Experiment(
+            name="fig04",
+            title="Figure 4 — area/energy scalability of the baselines (analytical)",
+            simulated=False,
+            run=fig04_scalability.run,
+            format_table=fig04_scalability.format_table,
+        ),
+        Experiment(
+            name="fig07",
+            title="Figure 7 — d-ary cuckoo hash characteristics",
+            simulated=False,
+            run=fig07_hash_characteristics.run,
+            format_table=fig07_hash_characteristics.format_table,
+        ),
+        Experiment(
+            name="fig08",
+            title="Figure 8 — average directory occupancy per workload",
+            simulated=True,
+            run=fig08_occupancy.run,
+            format_table=fig08_occupancy.format_table,
+            options=sim_options,
+            grid=fig08_occupancy.grid,
+        ),
+        Experiment(
+            name="fig09",
+            title="Figure 9 — Cuckoo directory sizing sweep",
+            simulated=True,
+            run=fig09_provisioning.run,
+            format_table=fig09_provisioning.format_table,
+            options=sim_options,
+            grid=fig09_provisioning.grid,
+        ),
+        Experiment(
+            name="fig10",
+            title="Figure 10 — average insertion attempts of the chosen designs",
+            simulated=True,
+            run=fig10_insertion_attempts.run,
+            format_table=fig10_insertion_attempts.format_table,
+            options=sim_options,
+            grid=fig10_insertion_attempts.grid,
+        ),
+        Experiment(
+            name="fig11",
+            title="Figure 11 — worst-case insertion-attempt distributions",
+            simulated=True,
+            run=fig11_worst_case.run,
+            format_table=fig11_worst_case.format_table,
+            options=("scale", "measure_accesses", "seed", "runner"),
+            grid=fig11_worst_case.grid,
+        ),
+        Experiment(
+            name="fig12",
+            title="Figure 12 — forced-invalidation rate comparison",
+            simulated=True,
+            run=fig12_invalidations.run,
+            format_table=fig12_invalidations.format_table,
+            options=sim_options,
+            grid=fig12_invalidations.grid,
+        ),
+        Experiment(
+            name="fig13",
+            title="Figure 13 — power/area comparison to 1024 cores (analytical)",
+            simulated=False,
+            run=fig13_power_area.run,
+            format_table=fig13_power_area.format_table,
+        ),
+        Experiment(
+            name="ablation-hash",
+            title="Section 5.5 — skewing vs. strong hash function ablation",
+            simulated=True,
+            run=ablation_hash_functions.run,
+            format_table=ablation_hash_functions.format_table,
+            options=("scale", "measure_accesses", "seed", "runner"),
+            grid=ablation_hash_functions.grid,
+        ),
+    ]
+    return {entry.name: entry for entry in entries}
+
+
+EXPERIMENTS: Dict[str, Experiment] = _experiments()
+
+
+def get_experiment(name: str) -> Experiment:
+    try:
+        return EXPERIMENTS[name]
+    except KeyError:
+        valid = ", ".join(EXPERIMENTS)
+        raise KeyError(f"unknown experiment {name!r}; expected one of: {valid}")
+
+
+def run_experiment(
+    name: str,
+    runner: Optional[ParallelRunner] = None,
+    workloads: Optional[Sequence[str]] = None,
+    scale: Optional[int] = None,
+    measure_accesses: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Tuple[object, str]:
+    """Run one experiment with whichever options it supports.
+
+    Returns ``(result, formatted_table)``.
+    """
+    experiment = get_experiment(name)
+    kwargs = {}
+    overrides = {
+        "workloads": workloads,
+        "scale": scale,
+        "measure_accesses": measure_accesses,
+        "seed": seed,
+        "runner": runner,
+    }
+    for option, value in overrides.items():
+        if option in experiment.options and value is not None:
+            kwargs[option] = value
+    result = experiment.run(**kwargs)
+    return result, experiment.format_table(result)

@@ -1,0 +1,204 @@
+"""Sharded execution of run grids across a worker pool.
+
+:class:`ParallelRunner` takes a :class:`~repro.engine.spec.RunGrid`,
+answers what it can from the :class:`~repro.engine.store.ResultStore`
+(content-addressed, so only bit-identical points hit), shards the
+remaining specs across a :mod:`multiprocessing` pool, and folds every
+outcome into a :class:`GridReport`.  Each worker rebuilds its system from
+the spec (:func:`repro.engine.execute.execute_spec`), so parallel results
+are identical to serial ones; a failing point is isolated as a
+:class:`~repro.engine.results.RunFailure` without aborting the grid.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Union
+
+from repro.engine.execute import execute_payload, execute_spec
+from repro.engine.results import RunFailure, RunResult
+from repro.engine.spec import RunGrid, RunSpec
+from repro.engine.store import ResultStore
+
+__all__ = ["EngineError", "GridReport", "ParallelRunner", "default_workers", "serial_runner"]
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+#: Progress event callback: ``(event, done, total, spec)`` where ``event``
+#: is one of ``"cached"``, ``"simulated"``, ``"failed"``.
+ProgressCallback = Callable[[str, int, int, RunSpec], None]
+
+
+class EngineError(RuntimeError):
+    """Raised when a requested simulation point failed to execute."""
+
+
+def default_workers() -> int:
+    """Worker count: ``$REPRO_ENGINE_WORKERS`` or the machine's CPU count."""
+    override = os.environ.get(WORKERS_ENV_VAR)
+    if override:
+        return max(1, int(override))
+    return max(1, os.cpu_count() or 1)
+
+
+@dataclass
+class GridReport:
+    """Outcome of one grid execution, addressable by spec."""
+
+    results: Dict[str, RunResult] = field(default_factory=dict)
+    failures: Dict[str, RunFailure] = field(default_factory=dict)
+    simulated: int = 0
+    cached: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return len(self.results) + len(self.failures)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def result_for(self, spec: RunSpec) -> RunResult:
+        """The result of ``spec``; raises :class:`EngineError` if it failed."""
+        key = spec.key()
+        result = self.results.get(key)
+        if result is not None:
+            return result
+        failure = self.failures.get(key)
+        if failure is not None:
+            detail = f"\n{failure.traceback}" if failure.traceback else ""
+            raise EngineError(f"simulation point failed — {failure}{detail}")
+        raise KeyError(f"spec not part of this report: {spec.label()}")
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.simulated} simulated",
+            f"{self.cached} cached",
+        ]
+        if self.failures:
+            parts.append(f"{len(self.failures)} failed")
+        return f"{', '.join(parts)} in {self.elapsed_seconds:.2f}s"
+
+
+class ParallelRunner:
+    """Executes run grids, reusing cached results and sharding the rest.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; ``None`` means :func:`default_workers`.  ``1`` executes
+        in-process (no pool), which is also used automatically for
+        single-point remainders.
+    store:
+        A :class:`ResultStore` for incremental re-runs, or ``None`` to
+        always simulate.
+    progress:
+        Optional callback invoked once per completed point.
+    start_method:
+        :mod:`multiprocessing` start method; defaults to ``fork`` where
+        available (cheap on Linux) and ``spawn`` elsewhere.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers is not None and workers <= 0:
+            raise ValueError("workers must be positive")
+        self._workers = workers
+        self._store = store
+        self._progress = progress
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._start_method = start_method
+
+    @property
+    def workers(self) -> int:
+        return self._workers if self._workers is not None else default_workers()
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self._store
+
+    # -- execution -----------------------------------------------------------
+    def run_spec(self, spec: RunSpec) -> RunResult:
+        """Execute (or fetch) a single point."""
+        report = self.run([spec])
+        return report.result_for(spec)
+
+    def run(self, grid: Union[RunGrid, Iterable[RunSpec]]) -> GridReport:
+        """Execute every point of ``grid``, returning a :class:`GridReport`."""
+        if not isinstance(grid, RunGrid):
+            grid = RunGrid(grid)
+        started = time.perf_counter()
+        report = GridReport()
+        total = len(grid)
+        pending: List[RunSpec] = []
+
+        for spec in grid:
+            cached = self._store.get(spec) if self._store is not None else None
+            if cached is not None:
+                report.results[spec.key()] = cached
+                report.cached += 1
+                self._emit("cached", report, total, spec)
+            else:
+                pending.append(spec)
+
+        if pending:
+            if self.workers <= 1 or len(pending) == 1:
+                self._run_serial(pending, report, total)
+            else:
+                self._run_pool(pending, report, total)
+
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    def _emit(self, event: str, report: GridReport, total: int, spec: RunSpec) -> None:
+        if self._progress is not None:
+            self._progress(event, report.total, total, spec)
+
+    def _record_outcome(
+        self, outcome: Dict[str, object], report: GridReport, total: int
+    ) -> None:
+        if outcome["status"] == "ok":
+            result = RunResult.from_dict(outcome["result"])
+            report.results[result.spec.key()] = result
+            report.simulated += 1
+            if self._store is not None:
+                self._store.put(result)
+            self._emit("simulated", report, total, result.spec)
+        else:
+            spec = RunSpec.from_dict(outcome["spec"])
+            failure = RunFailure(
+                spec=spec,
+                error=str(outcome.get("error", "unknown error")),
+                traceback=str(outcome.get("traceback", "")),
+            )
+            report.failures[spec.key()] = failure
+            self._emit("failed", report, total, spec)
+
+    def _run_serial(self, pending: List[RunSpec], report: GridReport, total: int) -> None:
+        for spec in pending:
+            self._record_outcome(execute_payload(spec.to_dict()), report, total)
+
+    def _run_pool(self, pending: List[RunSpec], report: GridReport, total: int) -> None:
+        context = multiprocessing.get_context(self._start_method)
+        pool_size = min(self.workers, len(pending))
+        payloads = [spec.to_dict() for spec in pending]
+        with context.Pool(processes=pool_size) as pool:
+            for outcome in pool.imap_unordered(execute_payload, payloads, chunksize=1):
+                self._record_outcome(outcome, report, total)
+
+
+def serial_runner() -> ParallelRunner:
+    """The default runner of the experiment drivers: in-process, no cache."""
+    return ParallelRunner(workers=1, store=None)

@@ -1,0 +1,123 @@
+"""Content-addressed on-disk result store.
+
+Results live in an append-only JSONL file, one record per line, keyed by
+the :meth:`RunSpec.key` content hash.  Because the key covers every spec
+field plus the engine's :data:`~repro.engine.spec.SPEC_VERSION`, a cached
+result is only ever returned for a bit-identical simulation point; any
+parameter change (or a version bump after simulator changes) misses the
+cache and re-simulates.  The store is shared across experiments — a point
+that Figure 9 already simulated is a cache hit when Figure 10 asks for the
+same geometry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+from repro.engine.results import RunResult
+from repro.engine.spec import RunSpec
+
+__all__ = ["ResultStore", "default_store_path"]
+
+#: Environment variable overriding the default on-disk store location.
+STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+
+def default_store_path() -> Path:
+    """The shared store location: ``$REPRO_RESULT_STORE`` or the user cache."""
+    override = os.environ.get(STORE_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-cuckoo" / "results.jsonl"
+
+
+class ResultStore:
+    """JSONL-backed, content-addressed cache of :class:`RunResult` records."""
+
+    def __init__(self, path: Union[str, Path, None] = None) -> None:
+        self._path = Path(path) if path is not None else default_store_path()
+        self._records: Dict[str, Dict[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self._path.exists():
+            return
+        with self._path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    result = record["result"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    continue  # tolerate truncated/corrupt lines
+                self._records[key] = result  # later lines win
+
+    # -- queries -------------------------------------------------------------
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        return spec.key() in self._records
+
+    def keys(self) -> List[str]:
+        return list(self._records)
+
+    def get(self, spec: RunSpec) -> Optional[RunResult]:
+        """Cached result for ``spec``, counting a hit or a miss."""
+        record = self._records.get(spec.key())
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return RunResult.from_dict(record)
+
+    def iter_results(self) -> Iterator[RunResult]:
+        for record in self._records.values():
+            yield RunResult.from_dict(record)
+
+    # -- updates -------------------------------------------------------------
+    def put(self, result: RunResult) -> None:
+        """Persist ``result``; a key already present is overwritten in memory
+        and appended on disk (last record wins on reload)."""
+        key = result.spec.key()
+        record = result.to_dict()
+        self._records[key] = record
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        with self._path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": key, "result": record}) + "\n")
+        self.writes += 1
+
+    def clear(self) -> None:
+        """Drop every cached result, on disk and in memory."""
+        self._records.clear()
+        if self._path.exists():
+            self._path.unlink()
+
+    def compact(self) -> None:
+        """Rewrite the file with one line per live key (drops superseded lines)."""
+        if not self._records:
+            if self._path.exists():
+                self._path.unlink()
+            return
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self._path.with_suffix(".tmp")
+        with tmp.open("w", encoding="utf-8") as handle:
+            for key, record in self._records.items():
+                handle.write(json.dumps({"key": key, "result": record}) + "\n")
+        tmp.replace(self._path)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self._path)!r}, entries={len(self._records)})"

@@ -2,9 +2,14 @@
 
 Every module exposes a ``run(...)`` function returning a plain result
 object (dataclass or dict of series) and a ``format_table(result)``
-function that renders it as the rows the paper plots.  The benchmark
-harnesses in ``benchmarks/`` and the examples in ``examples/`` are thin
-wrappers around these drivers.
+function that renders it as the rows the paper plots.  The
+simulation-based drivers additionally expose a ``grid(...)`` function
+declaring their sweep as a :class:`repro.engine.spec.RunGrid`; ``run``
+accepts a ``runner=`` keyword to execute that grid through a configured
+:class:`repro.engine.runner.ParallelRunner` (parallel workers plus the
+content-addressed result cache).  The benchmark harnesses in
+``benchmarks/``, the examples in ``examples/`` and the ``repro-run`` CLI
+are thin wrappers around these drivers.
 
 =====================  ====================================================
 Module                 Paper artefact

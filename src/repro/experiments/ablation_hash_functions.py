@@ -19,13 +19,10 @@ from typing import Dict, Optional, Sequence
 
 from repro.analysis.tables import format_percentage, render_table
 from repro.config import CacheLevel
-from repro.core.cuckoo_directory import CuckooDirectory
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
-from repro.hashing.skewing import SkewingHashFamily
-from repro.hashing.strong import StrongHashFamily
-from repro.workloads.suite import get_workload
 
-__all__ = ["HashAblationPoint", "run", "format_table"]
+__all__ = ["HashAblationPoint", "run", "grid", "format_table"]
 
 
 @dataclass
@@ -38,19 +35,45 @@ class HashAblationPoint:
     forced_invalidation_rate: float
 
 
-def _factory(system, ways: int, provisioning: float, family: str):
-    sets = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)(1, 0).num_sets
+def _spec(
+    workload: str,
+    tracked_level: CacheLevel,
+    ways: int,
+    provisioning: float,
+    family: str,
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=ways,
+        provisioning=provisioning,
+        hash_family=family,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
 
-    def make(num_caches: int, slice_id: int):
-        if family == "skewing":
-            hashes = SkewingHashFamily(ways, sets)
-        else:
-            hashes = StrongHashFamily(ways, sets, seed=slice_id + 1)
-        return CuckooDirectory(
-            num_caches=num_caches, num_sets=sets, num_ways=ways, hash_family=hashes
-        )
 
-    return make
+def grid(
+    workload: str = "Oracle",
+    tracked_level: CacheLevel = CacheLevel.L1,
+    ways: int = 4,
+    provisionings: Sequence[float] = (1.0, 0.5),
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The ablation sweep: (provisioning × hash family) on one workload."""
+    return RunGrid(
+        _spec(workload, tracked_level, ways, provisioning, family, scale,
+              measure_accesses, seed)
+        for provisioning in provisionings
+        for family in ("skewing", "strong")
+    )
 
 
 def run(
@@ -61,24 +84,26 @@ def run(
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> Dict[str, HashAblationPoint]:
     """Run the ablation; returns ``{"<provisioning>/<family>": point}``."""
-    system = common.scaled_system(tracked_level, scale=scale)
-    load = get_workload(workload)
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(
+        grid(workload, tracked_level, ways, provisionings, scale, measure_accesses, seed)
+    )
     results: Dict[str, HashAblationPoint] = {}
     for provisioning in provisionings:
         for family in ("skewing", "strong"):
-            factory = _factory(system, ways, provisioning, family)
-            run_result = common.run_workload(
-                load, system, factory, measure_accesses=measure_accesses, seed=seed
+            point = report.result_for(
+                _spec(workload, tracked_level, ways, provisioning, family, scale,
+                      measure_accesses, seed)
             )
-            stats = run_result.result.directory_stats
             key = f"{provisioning:g}x/{family}"
             results[key] = HashAblationPoint(
                 provisioning=provisioning,
                 hash_family=family,
-                average_insertion_attempts=stats.average_insertion_attempts,
-                forced_invalidation_rate=stats.forced_invalidation_rate,
+                average_insertion_attempts=point.average_insertion_attempts,
+                forced_invalidation_rate=point.forced_invalidation_rate,
             )
     return results
 

@@ -9,6 +9,23 @@ that the directory behaviour depends on (associativities, block size,
 footprint-to-cache ratios, provisioning factors) is preserved.  The
 ``scale=1`` setting recovers the paper's full-size system for anyone
 willing to wait.
+
+The simulation-based drivers no longer loop over :func:`run_workload`
+themselves: each one *declares* its sweep as a
+:class:`repro.engine.spec.RunGrid` of :class:`~repro.engine.spec.RunSpec`
+points (see each driver's ``grid()`` function) and hands the grid to a
+:class:`repro.engine.runner.ParallelRunner`, which shards the points
+across worker processes and skips any point already present in the
+content-addressed :class:`repro.engine.store.ResultStore`.  By default
+(``runner=None``) the drivers execute serially with no cache, exactly as
+before; pass a configured runner — or use the ``repro-run`` CLI — for
+parallel, incremental execution.  Cached results live in
+``~/.cache/repro-cuckoo/results.jsonl`` unless ``$REPRO_RESULT_STORE``
+says otherwise (the benchmark harness keeps its own store under
+``benchmarks/.engine-cache/``).
+
+:func:`run_workload` remains the single source of truth for how one point
+is simulated; the engine's workers call straight back into it.
 """
 
 from __future__ import annotations
@@ -23,6 +40,7 @@ from repro.core.cuckoo_directory import CuckooDirectory
 from repro.directories.base import Directory
 from repro.directories.skewed import SkewedDirectory
 from repro.directories.sparse import SparseDirectory
+from repro.engine.spec import DEFAULT_MEASURE_ACCESSES, DEFAULT_SCALE
 from repro.workloads.base import Workload
 
 __all__ = [
@@ -35,12 +53,6 @@ __all__ = [
     "DEFAULT_SCALE",
     "DEFAULT_MEASURE_ACCESSES",
 ]
-
-#: Default cache-capacity scale factor for experiments (16x smaller caches).
-DEFAULT_SCALE = 16
-
-#: Default measurement-window length (accesses) for experiments.
-DEFAULT_MEASURE_ACCESSES = 40_000
 
 
 def scaled_system(

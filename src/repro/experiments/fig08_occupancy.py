@@ -19,11 +19,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_percentage, render_table
-from repro.config import CacheLevel
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
-from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+from repro.workloads.suite import WORKLOAD_NAMES
 
-__all__ = ["OccupancyResult", "run", "format_table"]
+__all__ = ["OccupancyResult", "run", "grid", "format_table"]
 
 
 @dataclass
@@ -37,32 +37,53 @@ class OccupancyResult:
         return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
 
 
+def _spec(
+    workload: str, tracked_level: str, scale: int, measure_accesses: int, seed: int
+) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=4,
+        provisioning=2.0,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
+
+
+def grid(
+    workloads: Optional[Sequence[str]] = None,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The Figure 8 sweep: every workload on both system configurations."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    return RunGrid(
+        _spec(name, level, scale, measure_accesses, seed)
+        for level in ("L1", "L2")
+        for name in names
+    )
+
+
 def run(
     workloads: Optional[Sequence[str]] = None,
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> OccupancyResult:
     """Reproduce Figure 8 on the scaled-down system."""
     names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(grid(names, scale, measure_accesses, seed))
     shared: Dict[str, float] = {}
     private: Dict[str, float] = {}
-    for tracked_level, results in (
-        (CacheLevel.L1, shared),
-        (CacheLevel.L2, private),
-    ):
-        system = common.scaled_system(tracked_level, scale=scale)
+    for level, results in (("L1", shared), ("L2", private)):
         for name in names:
-            workload = get_workload(name)
-            factory = common.cuckoo_factory(system, ways=4, provisioning=2.0)
-            run_result = common.run_workload(
-                workload,
-                system,
-                factory,
-                measure_accesses=measure_accesses,
-                seed=seed,
-            )
-            results[name] = run_result.occupancy_vs_worst_case
+            point = report.result_for(_spec(name, level, scale, measure_accesses, seed))
+            results[name] = point.occupancy_vs_worst_case
     return OccupancyResult(shared_l2=shared, private_l2=private)
 
 

@@ -15,11 +15,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import geometric_mean
 from repro.analysis.tables import format_percentage, render_table
-from repro.config import CacheLevel
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
-from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+from repro.workloads.suite import WORKLOAD_NAMES
 
-__all__ = ["ProvisioningPoint", "ProvisioningResult", "run", "format_table",
+__all__ = ["ProvisioningPoint", "ProvisioningResult", "run", "grid", "format_table",
            "SHARED_L2_GEOMETRIES", "PRIVATE_L2_GEOMETRIES"]
 
 #: (ways, provisioning factor, paper label) — the Shared-L2 sweep of Figure 9.
@@ -65,32 +65,67 @@ class ProvisioningResult:
         return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
 
 
+def _spec(
+    workload: str,
+    tracked_level: str,
+    ways: int,
+    provisioning: float,
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> RunSpec:
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=ways,
+        provisioning=provisioning,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
+
+
+def grid(
+    workloads: Optional[Sequence[str]] = None,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The Figure 9 sweep: every geometry × workload, both configurations."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    sweep = RunGrid()
+    for level, geometries in (
+        ("L1", SHARED_L2_GEOMETRIES),
+        ("L2", PRIVATE_L2_GEOMETRIES),
+    ):
+        for ways, provisioning, _label in geometries:
+            for name in names:
+                sweep.add(
+                    _spec(name, level, ways, provisioning, scale, measure_accesses, seed)
+                )
+    return sweep
+
+
 def _sweep(
-    tracked_level: CacheLevel,
+    report,
+    tracked_level: str,
     geometries: Sequence[Tuple[int, float, str]],
     workload_names: Sequence[str],
     scale: int,
     measure_accesses: int,
     seed: int,
 ) -> List[ProvisioningPoint]:
-    system = common.scaled_system(tracked_level, scale=scale)
     points: List[ProvisioningPoint] = []
     for ways, provisioning, label in geometries:
         attempts: Dict[str, float] = {}
         invalidations: Dict[str, float] = {}
         for name in workload_names:
-            workload = get_workload(name)
-            factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
-            run_result = common.run_workload(
-                workload,
-                system,
-                factory,
-                measure_accesses=measure_accesses,
-                seed=seed,
+            result = report.result_for(
+                _spec(name, tracked_level, ways, provisioning, scale, measure_accesses, seed)
             )
-            stats = run_result.result.directory_stats
-            attempts[name] = stats.average_insertion_attempts
-            invalidations[name] = stats.forced_invalidation_rate
+            attempts[name] = result.average_insertion_attempts
+            invalidations[name] = result.forced_invalidation_rate
         mean_attempts = (
             sum(attempts.values()) / len(attempts) if attempts else 0.0
         )
@@ -116,14 +151,17 @@ def run(
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> ProvisioningResult:
     """Reproduce Figure 9 on the scaled-down system."""
     names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(grid(names, scale, measure_accesses, seed))
     shared = _sweep(
-        CacheLevel.L1, SHARED_L2_GEOMETRIES, names, scale, measure_accesses, seed
+        report, "L1", SHARED_L2_GEOMETRIES, names, scale, measure_accesses, seed
     )
     private = _sweep(
-        CacheLevel.L2, PRIVATE_L2_GEOMETRIES, names, scale, measure_accesses, seed
+        report, "L2", PRIVATE_L2_GEOMETRIES, names, scale, measure_accesses, seed
     )
     return ProvisioningResult(shared_l2=shared, private_l2=private)
 

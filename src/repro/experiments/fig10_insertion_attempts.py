@@ -14,11 +14,11 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import render_table
-from repro.config import CacheLevel
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
-from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+from repro.workloads.suite import WORKLOAD_NAMES
 
-__all__ = ["InsertionAttemptsResult", "run", "format_table"]
+__all__ = ["InsertionAttemptsResult", "run", "grid", "format_table"]
 
 #: The chosen designs of Section 5.3: (ways, provisioning factor).
 SHARED_L2_DESIGN = (4, 1.0)
@@ -34,32 +34,56 @@ class InsertionAttemptsResult:
         return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
 
 
+def _spec(
+    workload: str, tracked_level: str, scale: int, measure_accesses: int, seed: int
+) -> RunSpec:
+    ways, provisioning = (
+        SHARED_L2_DESIGN if tracked_level == "L1" else PRIVATE_L2_DESIGN
+    )
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=ways,
+        provisioning=provisioning,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
+
+
+def grid(
+    workloads: Optional[Sequence[str]] = None,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The Figure 10 sweep: the Section 5.3 designs over every workload."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    return RunGrid(
+        _spec(name, level, scale, measure_accesses, seed)
+        for level in ("L1", "L2")
+        for name in names
+    )
+
+
 def run(
     workloads: Optional[Sequence[str]] = None,
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> InsertionAttemptsResult:
     """Reproduce Figure 10 on the scaled-down system."""
     names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(grid(names, scale, measure_accesses, seed))
     shared: Dict[str, float] = {}
     private: Dict[str, float] = {}
-    for tracked_level, (ways, provisioning), results in (
-        (CacheLevel.L1, SHARED_L2_DESIGN, shared),
-        (CacheLevel.L2, PRIVATE_L2_DESIGN, private),
-    ):
-        system = common.scaled_system(tracked_level, scale=scale)
+    for level, results in (("L1", shared), ("L2", private)):
         for name in names:
-            workload = get_workload(name)
-            factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
-            run_result = common.run_workload(
-                workload,
-                system,
-                factory,
-                measure_accesses=measure_accesses,
-                seed=seed,
-            )
-            results[name] = run_result.result.directory_stats.average_insertion_attempts
+            point = report.result_for(_spec(name, level, scale, measure_accesses, seed))
+            results[name] = point.average_insertion_attempts
     return InsertionAttemptsResult(shared_l2=shared, private_l2=private)
 
 

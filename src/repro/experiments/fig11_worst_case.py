@@ -11,18 +11,17 @@ decaying tail with essentially no mass at the 32-attempt cut-off.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.analysis.tables import format_percentage, render_table
-from repro.config import CacheLevel
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.experiments.fig10_insertion_attempts import (
     PRIVATE_L2_DESIGN,
     SHARED_L2_DESIGN,
 )
-from repro.workloads.suite import get_workload
 
-__all__ = ["WorstCaseResult", "run", "format_table"]
+__all__ = ["WorstCaseResult", "run", "grid", "format_table"]
 
 
 @dataclass
@@ -33,33 +32,67 @@ class WorstCaseResult:
     max_attempts: int = 32
 
 
+def _cases(shared_workload: str, private_workload: str):
+    return (
+        (shared_workload, "L1", SHARED_L2_DESIGN, "Shared L2"),
+        (private_workload, "L2", PRIVATE_L2_DESIGN, "Private L2"),
+    )
+
+
+def _spec(
+    workload: str,
+    tracked_level: str,
+    design: tuple,
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> RunSpec:
+    ways, provisioning = design
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=ways,
+        provisioning=provisioning,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
+
+
+def grid(
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+    shared_workload: str = "Oracle",
+    private_workload: str = "ocean",
+) -> RunGrid:
+    """The Figure 11 points: the two longest-tailed workload/config pairs."""
+    return RunGrid(
+        _spec(name, level, design, scale, measure_accesses, seed)
+        for name, level, design, _label in _cases(shared_workload, private_workload)
+    )
+
+
 def run(
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
     shared_workload: str = "Oracle",
     private_workload: str = "ocean",
+    runner: Optional[ParallelRunner] = None,
 ) -> WorstCaseResult:
     """Reproduce Figure 11 on the scaled-down system."""
-    distributions: Dict[str, Dict[int, float]] = {}
-
-    cases = (
-        (shared_workload, CacheLevel.L1, SHARED_L2_DESIGN, "Shared L2"),
-        (private_workload, CacheLevel.L2, PRIVATE_L2_DESIGN, "Private L2"),
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(
+        grid(scale, measure_accesses, seed, shared_workload, private_workload)
     )
-    for workload_name, tracked_level, (ways, provisioning), config_label in cases:
-        system = common.scaled_system(tracked_level, scale=scale)
-        workload = get_workload(workload_name)
-        factory = common.cuckoo_factory(system, ways=ways, provisioning=provisioning)
-        run_result = common.run_workload(
-            workload,
-            system,
-            factory,
-            measure_accesses=measure_accesses,
-            seed=seed,
+    distributions: Dict[str, Dict[int, float]] = {}
+    for name, level, design, config_label in _cases(shared_workload, private_workload):
+        point = report.result_for(
+            _spec(name, level, design, scale, measure_accesses, seed)
         )
-        label = f"{workload_name} ({config_label})"
-        distributions[label] = run_result.result.attempt_distribution()
+        distributions[f"{name} ({config_label})"] = point.attempt_distribution()
     return WorstCaseResult(distributions=distributions)
 
 

@@ -21,15 +21,14 @@ benchmark verifies.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.tables import format_percentage, render_table
-from repro.config import CacheLevel, SystemConfig
-from repro.directories.base import Directory
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
-from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+from repro.workloads.suite import WORKLOAD_NAMES
 
-__all__ = ["InvalidationResult", "run", "format_table", "ORGANIZATION_LABELS"]
+__all__ = ["InvalidationResult", "run", "grid", "format_table", "ORGANIZATION_LABELS"]
 
 ORGANIZATION_LABELS = ("Sparse 2x", "Sparse 8x", "Skewed 2x", "Cuckoo")
 
@@ -47,46 +46,73 @@ class InvalidationResult:
         return {"Shared L2": self.shared_l2, "Private L2": self.private_l2}
 
 
-def _factories(
-    system: SystemConfig, tracked_level: CacheLevel
-) -> Dict[str, Callable[[int, int], Directory]]:
-    if tracked_level is CacheLevel.L1:
-        cuckoo_ways, cuckoo_provisioning = 4, 1.0
-    else:
-        cuckoo_ways, cuckoo_provisioning = 3, 1.5
-    return {
-        "Sparse 2x": common.sparse_factory(system, ways=8, provisioning=2.0),
-        "Sparse 8x": common.sparse_factory(system, ways=8, provisioning=8.0),
-        "Skewed 2x": common.skewed_factory(system, ways=4, provisioning=2.0),
-        "Cuckoo": common.cuckoo_factory(
-            system, ways=cuckoo_ways, provisioning=cuckoo_provisioning
-        ),
-    }
+def _geometry(org: str, tracked_level: str) -> tuple:
+    """(organization, ways, provisioning) for one labelled comparison point."""
+    if org == "Sparse 2x":
+        return ("sparse", 8, 2.0)
+    if org == "Sparse 8x":
+        return ("sparse", 8, 8.0)
+    if org == "Skewed 2x":
+        return ("skewed", 4, 2.0)
+    if org == "Cuckoo":
+        return ("cuckoo", 4, 1.0) if tracked_level == "L1" else ("cuckoo", 3, 1.5)
+    raise KeyError(f"unknown organization label {org!r}")
+
+
+def _spec(
+    workload: str,
+    tracked_level: str,
+    org: str,
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> RunSpec:
+    organization, ways, provisioning = _geometry(org, tracked_level)
+    return RunSpec(
+        workload=workload,
+        tracked_level=tracked_level,
+        organization=organization,
+        ways=ways,
+        provisioning=provisioning,
+        scale=scale,
+        measure_accesses=measure_accesses,
+        seed=seed,
+    )
+
+
+def grid(
+    workloads: Optional[Sequence[str]] = None,
+    organizations: Sequence[str] = ORGANIZATION_LABELS,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The Figure 12 sweep: every organization × workload × configuration."""
+    names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
+    return RunGrid(
+        _spec(name, level, org, scale, measure_accesses, seed)
+        for level in ("L1", "L2")
+        for name in names
+        for org in organizations
+    )
 
 
 def _measure(
-    tracked_level: CacheLevel,
+    report,
+    tracked_level: str,
     workload_names: Sequence[str],
     organizations: Sequence[str],
     scale: int,
     measure_accesses: int,
     seed: int,
 ) -> Dict[str, Dict[str, float]]:
-    system = common.scaled_system(tracked_level, scale=scale)
     rates: Dict[str, Dict[str, float]] = {org: {} for org in organizations}
     for name in workload_names:
-        workload = get_workload(name)
-        factories = _factories(system, tracked_level)
         for org in organizations:
-            run_result = common.run_workload(
-                workload,
-                system,
-                factories[org],
-                measure_accesses=measure_accesses,
-                seed=seed,
+            result = report.result_for(
+                _spec(name, tracked_level, org, scale, measure_accesses, seed)
             )
-            stats = run_result.result.directory_stats
-            rates[org][name] = stats.forced_invalidation_rate
+            rates[org][name] = result.forced_invalidation_rate
     return rates
 
 
@@ -96,15 +122,14 @@ def run(
     scale: int = common.DEFAULT_SCALE,
     measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
     seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
 ) -> InvalidationResult:
     """Reproduce Figure 12 on the scaled-down system."""
     names = list(workloads) if workloads is not None else list(WORKLOAD_NAMES)
-    shared = _measure(
-        CacheLevel.L1, names, organizations, scale, measure_accesses, seed
-    )
-    private = _measure(
-        CacheLevel.L2, names, organizations, scale, measure_accesses, seed
-    )
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(grid(names, organizations, scale, measure_accesses, seed))
+    shared = _measure(report, "L1", names, organizations, scale, measure_accesses, seed)
+    private = _measure(report, "L2", names, organizations, scale, measure_accesses, seed)
     return InvalidationResult(shared_l2=shared, private_l2=private)
 
 

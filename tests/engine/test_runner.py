@@ -1,0 +1,127 @@
+"""Parallel-runner tests: serial equivalence, caching, failure isolation."""
+
+import pytest
+
+from repro.engine.runner import EngineError, ParallelRunner
+from repro.engine.spec import RunGrid, RunSpec
+from repro.engine.store import ResultStore
+
+
+def _grid(**overrides):
+    axes = dict(
+        workload=["Oracle", "ocean"],
+        tracked_level=["L1", "L2"],
+        provisioning=2.0,
+        scale=64,
+        measure_accesses=1_500,
+    )
+    axes.update(overrides)
+    return RunGrid.product(**axes)
+
+
+class TestParallelMatchesSerial:
+    def test_parallel_results_identical_to_serial(self):
+        grid = _grid()
+        serial = ParallelRunner(workers=1).run(grid)
+        parallel = ParallelRunner(workers=2).run(grid)
+        assert serial.ok and parallel.ok
+        assert set(serial.results) == set(parallel.results)
+        for key, result in serial.results.items():
+            # RunResult equality covers every statistic except wall-clock.
+            assert parallel.results[key] == result
+
+    def test_report_is_addressable_by_spec(self):
+        grid = _grid()
+        report = ParallelRunner(workers=2).run(grid)
+        for spec in grid:
+            result = report.result_for(spec)
+            assert result.spec == spec
+            assert result.accesses == spec.measure_accesses
+
+    def test_unknown_spec_raises_key_error(self):
+        report = ParallelRunner(workers=1).run(_grid())
+        with pytest.raises(KeyError):
+            report.result_for(RunSpec(workload="DB2", scale=64, measure_accesses=1_500))
+
+
+class TestCaching:
+    def test_second_run_simulates_nothing(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        grid = _grid()
+
+        cold = ParallelRunner(workers=1, store=store).run(grid)
+        assert cold.simulated == len(grid) and cold.cached == 0
+
+        warm = ParallelRunner(workers=1, store=store).run(grid)
+        assert warm.simulated == 0 and warm.cached == len(grid)
+        assert warm.results == cold.results
+
+    def test_changed_field_invalidates_only_that_point(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = ParallelRunner(workers=1, store=store)
+        runner.run(_grid())
+
+        changed = _grid(seed=[0, 1])  # doubles the grid; seed=0 half is cached
+        report = runner.run(changed)
+        assert report.cached == len(changed) // 2
+        assert report.simulated == len(changed) // 2
+
+    def test_cached_results_shared_across_runners(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        grid = _grid()
+        ParallelRunner(workers=1, store=ResultStore(path)).run(grid)
+        report = ParallelRunner(workers=2, store=ResultStore(path)).run(grid)
+        assert report.simulated == 0 and report.cached == len(grid)
+
+
+class TestFailureIsolation:
+    def test_bad_point_does_not_abort_the_grid(self):
+        good = _grid()
+        bad = RunSpec(workload="no-such-workload", scale=64, measure_accesses=1_500)
+        report = ParallelRunner(workers=2).run(RunGrid([bad]) + good)
+
+        assert len(report.failures) == 1
+        assert len(report.results) == len(good)
+        failure = report.failures[bad.key()]
+        assert "no-such-workload" in failure.error
+        assert failure.traceback
+
+    def test_result_for_failed_spec_raises_engine_error(self):
+        bad = RunSpec(workload="no-such-workload", scale=64, measure_accesses=1_500)
+        report = ParallelRunner(workers=1).run([bad])
+        assert not report.ok
+        with pytest.raises(EngineError, match="no-such-workload"):
+            report.result_for(bad)
+
+    def test_failures_are_not_cached(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        bad = RunSpec(workload="no-such-workload", scale=64, measure_accesses=1_500)
+        ParallelRunner(workers=1, store=store).run([bad])
+        assert len(store) == 0
+
+
+class TestProgressReporting:
+    def test_every_point_emits_one_event(self, tmp_path):
+        events = []
+        store = ResultStore(tmp_path / "results.jsonl")
+
+        def progress(event, done, total, spec):
+            events.append((event, done, total, spec.workload))
+
+        grid = _grid()
+        ParallelRunner(workers=1, store=store, progress=progress).run(grid)
+        assert len(events) == len(grid)
+        assert all(event == "simulated" for event, *_ in events)
+        assert events[-1][1] == events[-1][2] == len(grid)
+
+        events.clear()
+        bad = RunSpec(workload="no-such-workload", scale=64, measure_accesses=1_500)
+        ParallelRunner(workers=1, store=store, progress=progress).run(
+            RunGrid([bad]) + grid
+        )
+        kinds = {event for event, *_ in events}
+        assert kinds == {"cached", "failed"}
+
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(workers=0)

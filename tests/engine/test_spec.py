@@ -1,0 +1,134 @@
+"""Spec hashing, serialization and grid-construction tests."""
+
+import json
+
+import pytest
+
+from repro.config import CacheLevel
+from repro.engine.spec import RunGrid, RunSpec
+
+
+def _spec(**overrides):
+    base = dict(
+        workload="Oracle",
+        tracked_level="L1",
+        organization="cuckoo",
+        ways=4,
+        provisioning=1.0,
+        scale=64,
+        seed=0,
+        measure_accesses=2_000,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestSpecKey:
+    def test_key_is_stable_across_instances(self):
+        assert _spec().key() == _spec().key()
+
+    def test_key_is_hex_sha256(self):
+        key = _spec().key()
+        assert len(key) == 64
+        int(key, 16)
+
+    def test_equal_specs_are_equal_and_hashable(self):
+        assert _spec() == _spec()
+        assert hash(_spec()) == hash(_spec())
+        assert len({_spec(), _spec()}) == 1
+
+    def test_numeric_and_enum_normalisation(self):
+        # 1 vs 1.0 provisioning and CacheLevel.L1 vs "L1" describe the same
+        # point and must share a cache address.
+        assert _spec(provisioning=1).key() == _spec(provisioning=1.0).key()
+        assert _spec(tracked_level=CacheLevel.L1).key() == _spec(tracked_level="L1").key()
+        # Integral floats on integer fields normalise too (4.0 ways == 4 ways),
+        # while non-integral values are rejected rather than truncated.
+        assert _spec(ways=4.0).key() == _spec(ways=4).key()
+        assert _spec(scale=64.0) == _spec(scale=64)
+        with pytest.raises(ValueError):
+            _spec(ways=4.5)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("workload", "ocean"),
+            ("tracked_level", "L2"),
+            ("organization", "sparse"),
+            ("ways", 3),
+            ("provisioning", 2.0),
+            ("num_cores", 32),
+            ("scale", 32),
+            ("seed", 1),
+            ("measure_accesses", 4_000),
+            ("warmup_accesses", 100),
+            ("occupancy_sample_interval", 500),
+            ("hash_family", "strong"),
+        ],
+    )
+    def test_any_field_change_changes_key(self, field, value):
+        assert _spec(**{field: value}).key() != _spec().key()
+
+    def test_json_round_trip_preserves_key(self):
+        spec = _spec(hash_family="skewing", warmup_accesses=500)
+        restored = RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.key() == spec.key()
+
+    def test_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            RunSpec.from_dict({"workload": "Oracle", "bogus": 1})
+
+
+class TestSpecValidation:
+    def test_rejects_bad_tracked_level(self):
+        with pytest.raises(ValueError):
+            _spec(tracked_level="L3")
+
+    def test_rejects_bad_organization(self):
+        with pytest.raises(ValueError):
+            _spec(organization="hashlife")
+
+    def test_hash_family_requires_cuckoo(self):
+        with pytest.raises(ValueError):
+            _spec(organization="sparse", hash_family="strong")
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("ways", 0), ("provisioning", 0.0), ("scale", 0), ("measure_accesses", 0),
+         ("warmup_accesses", -1), ("occupancy_sample_interval", 0)],
+    )
+    def test_rejects_non_positive_values(self, field, value):
+        with pytest.raises(ValueError):
+            _spec(**{field: value})
+
+
+class TestRunGrid:
+    def test_product_covers_cartesian_product_in_order(self):
+        grid = RunGrid.product(
+            workload=["Oracle", "ocean"],
+            tracked_level=["L1", "L2"],
+            scale=64,
+            measure_accesses=2_000,
+        )
+        assert len(grid) == 4
+        assert [(s.workload, s.tracked_level) for s in grid] == [
+            ("Oracle", "L1"), ("Oracle", "L2"), ("ocean", "L1"), ("ocean", "L2"),
+        ]
+
+    def test_grid_deduplicates_identical_points(self):
+        grid = RunGrid([_spec(), _spec(), _spec(seed=1)])
+        assert len(grid) == 2
+
+    def test_grid_concatenation(self):
+        merged = RunGrid([_spec()]) + RunGrid([_spec(), _spec(seed=1)])
+        assert len(merged) == 2
+        assert _spec(seed=1) in merged
+
+    def test_product_rejects_unknown_axis(self):
+        with pytest.raises(TypeError):
+            RunGrid.product(workload=["Oracle"], flux_capacitance=[1])
+
+    def test_product_rejects_empty_axis(self):
+        with pytest.raises(ValueError):
+            RunGrid.product(workload=[])

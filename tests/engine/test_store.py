@@ -1,0 +1,76 @@
+"""Content-addressed result-store tests: hits, misses, persistence."""
+
+from repro.engine.execute import execute_spec
+from repro.engine.spec import RunSpec
+from repro.engine.store import ResultStore
+
+
+def _spec(**overrides):
+    base = dict(workload="Oracle", tracked_level="L1", provisioning=2.0,
+                scale=64, measure_accesses=1_500)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestResultStore:
+    def test_miss_then_hit_on_unchanged_spec(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        spec = _spec()
+        assert store.get(spec) is None
+        assert store.misses == 1
+
+        result = execute_spec(spec)
+        store.put(result)
+        cached = store.get(spec)
+        assert cached == result
+        assert store.hits == 1
+        assert spec in store
+
+    def test_any_field_change_misses(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        store.put(execute_spec(_spec()))
+        assert store.get(_spec(seed=1)) is None
+        assert store.get(_spec(measure_accesses=2_000)) is None
+        assert store.get(_spec(provisioning=1.0)) is None
+        assert store.get(_spec()) is not None
+
+    def test_results_persist_across_store_instances(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        spec = _spec()
+        result = execute_spec(spec)
+        ResultStore(path).put(result)
+
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+        assert reopened.get(spec) == result
+
+    def test_corrupt_lines_are_tolerated(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(execute_spec(_spec()))
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("{not json\n")
+            handle.write('{"key": "missing-result"}\n')
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+        assert reopened.get(_spec()) is not None
+
+    def test_clear_removes_file_and_entries(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(execute_spec(_spec()))
+        store.clear()
+        assert len(store) == 0
+        assert not path.exists()
+        assert store.get(_spec()) is None
+
+    def test_compact_keeps_last_record_per_key(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        result = execute_spec(_spec())
+        store.put(result)
+        store.put(result)  # duplicate line on disk
+        assert len(path.read_text().splitlines()) == 2
+        store.compact()
+        assert len(path.read_text().splitlines()) == 1
+        assert ResultStore(path).get(_spec()) == result
