@@ -1,0 +1,200 @@
+#!/usr/bin/env python
+"""Hot-path benchmark: before/after numbers for the allocation-free rewrite.
+
+Measures the per-access simulation hot path end-to-end on the Figure 10
+reference point (Oracle workload, Shared-L2 chosen design, scale 16,
+40 000 measured accesses) plus four component microbenchmarks, compares
+each against the pinned pre-rewrite baseline, and records everything to
+``BENCH_hot_path.json``.
+
+The baseline numbers were measured on the pre-rewrite tree interleaved
+with the rewritten tree on the same machine (alternating runs, best of
+three each) so machine-load drift cancels out of the ratio.  Absolute
+numbers on another machine will differ; the *ratio* is the claim:
+
+* end-to-end fig10 reference point: >= 3x
+* cuckoo insert/remove and skewing index throughput: ~2x
+* synthetic trace generation: ~1.3x
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py            # full
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --quick    # 1 repeat
+    PYTHONPATH=src python benchmarks/bench_hot_path.py --output out.json
+
+Unlike the figure benchmarks, this script bypasses the engine's result
+store on purpose: a cached result would time a cache lookup, not the
+simulator.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import CacheLevel  # noqa: E402
+from repro.core.cuckoo_hash import CuckooHashTable  # noqa: E402
+from repro.directories.sharers import FullBitVector  # noqa: E402
+from repro.engine.execute import execute_spec  # noqa: E402
+from repro.engine.spec import RunSpec  # noqa: E402
+from repro.experiments.common import scaled_system  # noqa: E402
+from repro.hashing.skewing import SkewingHashFamily  # noqa: E402
+from repro.hashing.strong import StrongHashFamily  # noqa: E402
+from repro.workloads.suite import get_workload  # noqa: E402
+
+#: Pre-rewrite timings (seconds), measured on commit 0abe6e5 interleaved
+#: with the rewritten tree on the same machine (best of 3 per metric,
+#: median of two alternating sessions).
+PRE_PR_BASELINE: Dict[str, float] = {
+    "fig10_point_seconds": 2.170,
+    "sharer_60k_ops_seconds": 0.00648,
+    "cuckoo_6k_ops_seconds": 0.02828,
+    "skewing_indices_50k_seconds": 0.24681,
+    "trace_100k_seconds": 0.17169,
+}
+
+#: The Figure 10 reference point: Oracle on the Shared-L2 chosen design.
+FIG10_REFERENCE = RunSpec(
+    workload="Oracle",
+    tracked_level="L1",
+    organization="cuckoo",
+    ways=4,
+    provisioning=1.0,
+    scale=16,
+    measure_accesses=40_000,
+    seed=0,
+)
+
+
+def _best_of(fn: Callable[[], None], repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _bench_fig10_point() -> None:
+    execute_spec(FIG10_REFERENCE)
+
+
+def _bench_sharers() -> None:
+    sharers = FullBitVector(32)
+    for step in range(20_000):
+        cache_id = step & 31
+        sharers.add(cache_id)
+        sharers.contains(cache_id)
+        sharers.remove(cache_id)
+
+
+def _bench_cuckoo() -> None:
+    table = CuckooHashTable(4, 1024, hash_family=StrongHashFamily(4, 1024, seed=3))
+    for key in range(3000):
+        table.insert(key, key)
+    for key in range(3000):
+        table.remove(key)
+
+
+_SKEW_FAMILY = SkewingHashFamily(4, 512)
+_SKEW_ADDRESSES = list(range(0, 50_000 * 64, 64))
+
+
+def _bench_skewing() -> None:
+    indices = _SKEW_FAMILY.indices
+    for address in _SKEW_ADDRESSES:
+        indices(address)
+
+
+def _bench_trace() -> None:
+    system = scaled_system(CacheLevel.L1, scale=16)
+    stream = get_workload("Oracle").trace(system, seed=0)
+    for _ in range(100_000):
+        next(stream)
+
+
+METRICS: Dict[str, Callable[[], None]] = {
+    "fig10_point_seconds": _bench_fig10_point,
+    "sharer_60k_ops_seconds": _bench_sharers,
+    "cuckoo_6k_ops_seconds": _bench_cuckoo,
+    "skewing_indices_50k_seconds": _bench_skewing,
+    "trace_100k_seconds": _bench_trace,
+}
+
+
+def run_benchmarks(repeats: int) -> Dict[str, float]:
+    current: Dict[str, float] = {}
+    for name, bench in METRICS.items():
+        bench()  # warm up (imports, sigma tables, allocator)
+        current[name] = _best_of(bench, repeats)
+        print(f"  {name:32s} {current[name]:9.4f}s", file=sys.stderr)
+    return current
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="single repeat per metric (CI smoke)"
+    )
+    parser.add_argument(
+        "--output",
+        default=str(REPO_ROOT / "BENCH_hot_path.json"),
+        help="where to write the JSON record (default: repo root)",
+    )
+    parser.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit non-zero if the fig10 end-to-end speedup is below RATIO",
+    )
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else 3
+    print(f"hot-path benchmark ({repeats} repeat(s) per metric)", file=sys.stderr)
+    current = run_benchmarks(repeats)
+
+    speedups = {
+        name: PRE_PR_BASELINE[name] / current[name]
+        for name in METRICS
+        if current[name] > 0
+    }
+    record = {
+        "reference_point": FIG10_REFERENCE.to_dict(),
+        "quick": args.quick,
+        "baseline_pre_pr_seconds": PRE_PR_BASELINE,
+        "current_seconds": current,
+        "speedup_vs_baseline": speedups,
+        "unix_time": time.time(),
+    }
+    output = Path(args.output)
+    output.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    print(f"\n{'metric':32s} {'before':>9s} {'after':>9s} {'speedup':>8s}")
+    for name in METRICS:
+        print(
+            f"{name:32s} {PRE_PR_BASELINE[name]:8.4f}s {current[name]:8.4f}s "
+            f"{speedups.get(name, float('nan')):7.2f}x"
+        )
+    print(f"\nrecorded to {output}")
+
+    fig10_speedup = speedups.get("fig10_point_seconds", 0.0)
+    if args.fail_below is not None and fig10_speedup < args.fail_below:
+        print(
+            f"FAIL: fig10 speedup {fig10_speedup:.2f}x below {args.fail_below:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ structure in the library agrees on the address granularity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, Iterator, List, Optional
 
@@ -38,27 +38,57 @@ class CoherenceState(str, Enum):
         return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
 
 
-@dataclass
 class CacheBlock:
-    """A resident block frame."""
+    """A resident block frame.
 
-    address: int
-    state: CoherenceState = CoherenceState.SHARED
-    dirty: bool = False
+    A plain ``__slots__`` class rather than a dataclass: one is touched or
+    (re)filled on every cache access, and on eviction the victim's instance
+    is recycled for the incoming block, so the steady-state fill path
+    allocates no frame objects at all.
+    """
+
+    __slots__ = ("address", "state", "dirty")
+
+    def __init__(
+        self,
+        address: int,
+        state: CoherenceState = CoherenceState.SHARED,
+        dirty: bool = False,
+    ) -> None:
+        self.address = address
+        self.state = state
+        self.dirty = dirty
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CacheBlock({self.address:#x}, {self.state.value}, dirty={self.dirty})"
 
 
-@dataclass(frozen=True)
 class AccessResult:
     """Outcome of installing or touching a block."""
 
-    hit: bool
-    victim_address: Optional[int] = None
-    victim_dirty: bool = False
-    victim_state: Optional[CoherenceState] = None
+    __slots__ = ("hit", "victim_address", "victim_dirty", "victim_state")
+
+    def __init__(
+        self,
+        hit: bool,
+        victim_address: Optional[int] = None,
+        victim_dirty: bool = False,
+        victim_state: Optional[CoherenceState] = None,
+    ) -> None:
+        self.hit = hit
+        self.victim_address = victim_address
+        self.victim_dirty = victim_dirty
+        self.victim_state = victim_state
 
     @property
     def evicted(self) -> bool:
         return self.victim_address is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"AccessResult(hit={self.hit}, victim={self.victim_address}, "
+            f"dirty={self.victim_dirty})"
+        )
 
 
 @dataclass
@@ -111,6 +141,17 @@ class SetAssociativeCache:
         # Reverse map: block address -> (set, way); kept in sync with frames.
         self._location: Dict[int, tuple] = {}
         self._stats = CacheStats()
+        # Shared "every way occupied" list handed to select_victim so the
+        # fill hot path does not rebuild range(num_ways) per eviction.
+        self._all_ways = list(range(self._num_ways))
+        # The default LRU policy's bookkeeping (bump a clock, stamp a slot,
+        # pick the min-stamp way) is inlined into touch/fill when the policy
+        # is exactly LruPolicy — the hot loop then performs plain list and
+        # attribute operations instead of three checked method calls per
+        # access.  Any other policy (or subclass) uses the generic calls.
+        self._lru: Optional[LruPolicy] = (
+            self._policy if type(self._policy) is LruPolicy else None
+        )
 
     # -- geometry ---------------------------------------------------------
     @property
@@ -178,18 +219,24 @@ class SetAssociativeCache:
         On a write hit the block is marked dirty; state transitions are the
         coherence controller's job (via :meth:`set_state`).
         """
-        self._stats.accesses += 1
+        stats = self._stats
+        stats.accesses += 1
         loc = self._location.get(address)
         if loc is None:
-            self._stats.misses += 1
+            stats.misses += 1
             return False
         set_index, way = loc
         block = self._frames[set_index][way]
         assert block is not None
         if write:
             block.dirty = True
-        self._policy.on_access(set_index, way)
-        self._stats.hits += 1
+        lru = self._lru
+        if lru is not None:
+            lru._clock += 1
+            lru._stamps[set_index][way] = lru._clock
+        else:
+            self._policy.on_access(set_index, way)
+        stats.hits += 1
         return True
 
     def fill(
@@ -204,6 +251,7 @@ class SetAssociativeCache:
         without an eviction (hit-path fill), which keeps the model robust
         against redundant controller fills.
         """
+        lru = self._lru
         existing = self._location.get(address)
         if existing is not None:
             set_index, way = existing
@@ -211,36 +259,65 @@ class SetAssociativeCache:
             assert block is not None
             block.state = state
             block.dirty = block.dirty or dirty
-            self._policy.on_access(set_index, way)
+            if lru is not None:
+                lru._clock += 1
+                lru._stamps[set_index][way] = lru._clock
+            else:
+                self._policy.on_access(set_index, way)
             return AccessResult(hit=True)
 
-        set_index = self.set_index(address)
+        set_index = address % self._num_sets
         ways = self._frames[set_index]
-        victim_address: Optional[int] = None
-        victim_dirty = False
-        victim_state: Optional[CoherenceState] = None
 
-        free_way = next((w for w, blk in enumerate(ways) if blk is None), None)
+        free_way = None
+        for way, block in enumerate(ways):
+            if block is None:
+                free_way = way
+                break
         if free_way is None:
-            occupied = list(range(self._num_ways))
-            victim_way = self._policy.select_victim(set_index, occupied)
+            if lru is not None:
+                row = lru._stamps[set_index]
+                victim_way = row.index(min(row))
+            else:
+                # Copy: a policy may legally mutate its occupied_ways arg.
+                victim_way = self._policy.select_victim(
+                    set_index, list(self._all_ways)
+                )
             victim = ways[victim_way]
             assert victim is not None
             victim_address = victim.address
             victim_dirty = victim.dirty
             victim_state = victim.state
-            self._evict_frame(set_index, victim_way)
-            free_way = victim_way
+            stats = self._stats
+            stats.evictions += 1
+            if victim_dirty:
+                stats.dirty_evictions += 1
+            del self._location[victim_address]
+            # Recycle the victim's frame object for the incoming block.
+            victim.address = address
+            victim.state = state
+            victim.dirty = dirty
+            self._location[address] = (set_index, victim_way)
+            if lru is not None:
+                lru._clock += 1
+                lru._stamps[set_index][victim_way] = lru._clock
+            else:
+                self._policy.on_fill(set_index, victim_way)
+            return AccessResult(
+                hit=False,
+                victim_address=victim_address,
+                victim_dirty=victim_dirty,
+                victim_state=victim_state,
+            )
 
         ways[free_way] = CacheBlock(address=address, state=state, dirty=dirty)
         self._location[address] = (set_index, free_way)
-        self._policy.on_fill(set_index, free_way)
-        return AccessResult(
-            hit=False,
-            victim_address=victim_address,
-            victim_dirty=victim_dirty,
-            victim_state=victim_state,
-        )
+        if lru is not None:
+            lru._clock += 1
+            lru._stamps[set_index][free_way] = lru._clock
+        else:
+            self._policy.on_fill(set_index, free_way)
+        return AccessResult(hit=False)
 
     def invalidate(self, address: int) -> bool:
         """Remove ``address`` (remote write or forced directory eviction)."""
@@ -274,16 +351,6 @@ class SetAssociativeCache:
             self._frames[loc[0]][loc[1]] = None
         self._location.clear()
         return addresses
-
-    # -- internals ------------------------------------------------------------
-    def _evict_frame(self, set_index: int, way: int) -> None:
-        block = self._frames[set_index][way]
-        assert block is not None
-        self._stats.evictions += 1
-        if block.dirty:
-            self._stats.dirty_evictions += 1
-        del self._location[block.address]
-        self._frames[set_index][way] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -64,17 +64,22 @@ class ReplacementPolicy(abc.ABC):
 
 
 class LruPolicy(ReplacementPolicy):
-    """Least-recently-used replacement (the paper's cache policy)."""
+    """Least-recently-used replacement (the paper's cache policy).
+
+    Recency stamps live in plain nested lists: the policy is touched on
+    every cache hit and fill, and scalar indexing into small Python lists
+    is several times cheaper than numpy element access at this grain.
+    """
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
         # Per-set recency stamp per way; larger = more recent.
-        self._stamps = np.zeros((num_sets, num_ways), dtype=np.int64)
+        self._stamps: List[List[int]] = [[0] * num_ways for _ in range(num_sets)]
         self._clock = 0
 
     def _touch(self, set_index: int, way: int) -> None:
         self._clock += 1
-        self._stamps[set_index, way] = self._clock
+        self._stamps[set_index][way] = self._clock
 
     def on_access(self, set_index: int, way: int) -> None:
         self._check(set_index, way)
@@ -86,12 +91,18 @@ class LruPolicy(ReplacementPolicy):
 
     def on_invalidate(self, set_index: int, way: int) -> None:
         self._check(set_index, way)
-        self._stamps[set_index, way] = 0
+        self._stamps[set_index][way] = 0
 
     def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
         if not occupied_ways:
             raise ValueError("select_victim requires at least one occupied way")
-        return min(occupied_ways, key=lambda way: self._stamps[set_index, way])
+        row = self._stamps[set_index]
+        if len(occupied_ways) == self._num_ways:
+            # Full set (the fill path): min over the raw stamp row runs at
+            # C speed; index() returns the first minimum, matching the
+            # subset path's tie-break on way order.
+            return row.index(min(row))
+        return min(occupied_ways, key=row.__getitem__)
 
 
 class FifoPolicy(ReplacementPolicy):
@@ -99,7 +110,7 @@ class FifoPolicy(ReplacementPolicy):
 
     def __init__(self, num_sets: int, num_ways: int) -> None:
         super().__init__(num_sets, num_ways)
-        self._fill_order = np.zeros((num_sets, num_ways), dtype=np.int64)
+        self._fill_order: List[List[int]] = [[0] * num_ways for _ in range(num_sets)]
         self._clock = 0
 
     def on_access(self, set_index: int, way: int) -> None:
@@ -108,12 +119,12 @@ class FifoPolicy(ReplacementPolicy):
     def on_fill(self, set_index: int, way: int) -> None:
         self._check(set_index, way)
         self._clock += 1
-        self._fill_order[set_index, way] = self._clock
+        self._fill_order[set_index][way] = self._clock
 
     def select_victim(self, set_index: int, occupied_ways: List[int]) -> int:
         if not occupied_ways:
             raise ValueError("select_victim requires at least one occupied way")
-        return min(occupied_ways, key=lambda way: self._fill_order[set_index, way])
+        return min(occupied_ways, key=self._fill_order[set_index].__getitem__)
 
 
 class RandomPolicy(ReplacementPolicy):

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict
 
-__all__ = ["MessageType", "TrafficStats"]
+__all__ = ["MessageType", "TrafficStats", "MESSAGE_BYTES_BY_TYPE", "message_bytes"]
 
 
 class MessageType(str, Enum):
@@ -43,6 +43,14 @@ def message_bytes(message_type: MessageType) -> int:
     return _CONTROL_BYTES
 
 
+#: Precomputed wire size per message type, covering every member; the
+#: traffic recorders (here and the inlined one in TiledCMP._record) index
+#: it unconditionally a few times per access.
+MESSAGE_BYTES_BY_TYPE: Dict[MessageType, int] = {
+    t: message_bytes(t) for t in MessageType
+}
+
+
 @dataclass
 class TrafficStats:
     """Counts of protocol messages and the hops they traversed."""
@@ -56,9 +64,10 @@ class TrafficStats:
     def record(self, message_type: MessageType, hops: int = 0, count: int = 1) -> None:
         if count < 0:
             raise ValueError("count must be non-negative")
-        self.messages[message_type] = self.messages.get(message_type, 0) + count
+        messages = self.messages
+        messages[message_type] = messages.get(message_type, 0) + count
         self.hops += hops * count
-        self.bytes_transferred += message_bytes(message_type) * count
+        self.bytes_transferred += MESSAGE_BYTES_BY_TYPE[message_type] * count
 
     @property
     def total_messages(self) -> int:

@@ -24,7 +24,7 @@ comparison the paper performs.
 
 from __future__ import annotations
 
-from typing import Dict, Set
+from typing import Dict, Optional, Set
 
 import numpy as np
 
@@ -63,6 +63,14 @@ class PageMapper:
         self._rng = np.random.default_rng(seed)
         self._page_table: Dict[int, int] = {}
         self._allocated: Set[int] = set()
+        # Power-of-two page sizes (every configuration in this library)
+        # translate with a shift and a mask instead of a divmod.
+        if page_bytes & (page_bytes - 1) == 0:
+            self._page_shift: Optional[int] = page_bytes.bit_length() - 1
+            self._offset_mask = page_bytes - 1
+        else:
+            self._page_shift = None
+            self._offset_mask = 0
 
     @property
     def page_bytes(self) -> int:
@@ -77,6 +85,14 @@ class PageMapper:
         """Translate a virtual byte address to its physical byte address."""
         if virtual_address < 0:
             raise ValueError("virtual_address must be non-negative")
+        shift = self._page_shift
+        if shift is not None:
+            virtual_page = virtual_address >> shift
+            physical_page = self._page_table.get(virtual_page)
+            if physical_page is None:
+                physical_page = self._allocate()
+                self._page_table[virtual_page] = physical_page
+            return (physical_page << shift) | (virtual_address & self._offset_mask)
         virtual_page, offset = divmod(virtual_address, self._page_bytes)
         physical_page = self._page_table.get(virtual_page)
         if physical_page is None:

@@ -5,19 +5,37 @@ before measuring; :class:`TraceSimulator` mirrors that: a configurable
 number of warm-up accesses are executed with statistics discarded, then a
 measurement window is executed during which directory statistics,
 occupancy samples, cache hit rates and traffic are collected.
+
+Two entry points drive the same measurement logic:
+
+* :meth:`TraceSimulator.run` consumes a stream of
+  :class:`~repro.coherence.system.MemoryAccess` objects (the original,
+  fully general interface);
+* :meth:`TraceSimulator.run_chunks` consumes *trace chunks* — tuples of
+  parallel ``(cores, addresses, is_writes, is_instructions)`` sequences
+  produced by :meth:`~repro.workloads.base.Workload.trace_chunks` — and
+  feeds the scalar fields straight into
+  :meth:`~repro.coherence.system.TiledCMP.access_scalar`, so the per-access
+  hot loop allocates no access objects and performs no attribute lookups.
+
+Both paths execute accesses in the same order with the same warm-up and
+sampling semantics, so their results are bit-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.cache.cache import CacheStats
 from repro.coherence.messages import TrafficStats
 from repro.coherence.system import MemoryAccess, TiledCMP
 from repro.directories.base import DirectoryStats
 
-__all__ = ["SimulationResult", "TraceSimulator"]
+__all__ = ["SimulationResult", "TraceSimulator", "TraceChunk"]
+
+#: Parallel per-access field sequences: (cores, addresses, writes, instrs).
+TraceChunk = Tuple[Sequence[int], Sequence[int], Sequence[bool], Sequence[bool]]
 
 
 @dataclass
@@ -45,7 +63,7 @@ class SimulationResult:
 
 
 class TraceSimulator:
-    """Runs a stream of :class:`MemoryAccess` through a :class:`TiledCMP`."""
+    """Runs a stream of memory accesses through a :class:`TiledCMP`."""
 
     def __init__(
         self,
@@ -74,25 +92,83 @@ class TraceSimulator:
 
         ``max_accesses`` bounds the *measured* accesses (the warm-up is on
         top of it); an unbounded generator trace therefore still
-        terminates.
+        terminates.  The iterator is consumed exactly up to the last
+        executed access (no prefetching), so callers may keep using its
+        tail afterwards.
         """
         system = self._system
+        warmup = self._warmup
+        interval = self._sample_interval
         occupancy_samples: List[float] = []
         measured = 0
         iterator: Iterator[MemoryAccess] = iter(trace)
 
         for position, access in enumerate(iterator):
-            if position == self._warmup:
+            if position == warmup:
                 system.reset_stats()
             system.access(access)
-            in_measurement = position >= self._warmup
-            if in_measurement:
+            if position >= warmup:
                 measured += 1
-                if measured % self._sample_interval == 0:
+                if measured % interval == 0:
                     occupancy_samples.append(system.sample_occupancy())
                 if max_accesses is not None and measured >= max_accesses:
                     break
 
+        return self._build_result(measured, occupancy_samples)
+
+    def run_chunks(
+        self,
+        chunks: Iterable[TraceChunk],
+        max_accesses: Optional[int] = None,
+    ) -> SimulationResult:
+        """Execute a chunked trace; semantics identical to :meth:`run`.
+
+        This is the allocation-free hot loop: every per-access quantity is
+        a scalar pulled out of the chunk's parallel sequences, the system's
+        access method is bound once, and the sampling countdown replaces a
+        per-access modulo.
+        """
+        system = self._system
+        access_scalar = system.access_scalar
+        warmup = self._warmup
+        interval = self._sample_interval
+        occupancy_samples: List[float] = []
+        sample_append = occupancy_samples.append
+        position = 0
+        measured = 0
+        until_sample = interval
+        # A non-positive bound behaves like the original ``measured >= max``
+        # check: the first measured access trips it.
+        remaining = max(1, max_accesses) if max_accesses is not None else -1
+        done = False
+
+        for cores, addresses, writes, instrs in chunks:
+            for core, address, is_write, is_instruction in zip(
+                cores, addresses, writes, instrs
+            ):
+                if position == warmup:
+                    system.reset_stats()
+                access_scalar(core, address, is_write, is_instruction)
+                position += 1
+                if position > warmup:
+                    measured += 1
+                    until_sample -= 1
+                    if until_sample == 0:
+                        sample_append(system.sample_occupancy())
+                        until_sample = interval
+                    if measured == remaining:
+                        done = True
+                        break
+            if done:
+                break
+
+        return self._build_result(measured, occupancy_samples)
+
+    def _build_result(
+        self, measured: int, occupancy_samples: List[float]
+    ) -> SimulationResult:
+        """Assemble the measurement-window statistics (shared by both loops)."""
+        system = self._system
         # Always take at least one occupancy sample so short runs report a
         # meaningful average instead of zero.
         if measured > 0 and not occupancy_samples:

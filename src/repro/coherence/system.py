@@ -31,7 +31,11 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.cache.cache import CoherenceState, SetAssociativeCache
 from repro.config import CacheLevel, SystemConfig
 from repro.coherence.interconnect import MeshInterconnect
-from repro.coherence.messages import MessageType, TrafficStats
+from repro.coherence.messages import (
+    MESSAGE_BYTES_BY_TYPE,
+    MessageType,
+    TrafficStats,
+)
 from repro.coherence.paging import PageMapper
 from repro.directories.base import Directory, DirectoryStats, Invalidation, UpdateResult
 
@@ -108,6 +112,19 @@ class TiledCMP:
         self._mesh = MeshInterconnect(num_cores)
         self._traffic = TrafficStats()
         self._accesses = 0
+        # Hot-path state hoisted out of the per-access methods: the tracked
+        # level as a plain bool, the slice count, and an all-pairs hop table
+        # (cores² entries) so traffic recording is two list indexings.
+        self._l1_tracked = config.tracked_level is CacheLevel.L1
+        self._num_cores = num_cores
+        self._num_slices = len(self._directories)
+        self._hop_table: List[List[int]] = [
+            [self._mesh.hops(source, destination) for destination in range(num_cores)]
+            for source in range(num_cores)
+        ]
+        self._core_of: List[int] = [
+            self.core_of_cache(cache_id) for cache_id in range(num_tracked)
+        ]
 
     # -- geometry / accessors ------------------------------------------------
     @property
@@ -143,8 +160,13 @@ class TiledCMP:
         return self._page_mapper.translate(byte_address) >> self._offset_bits
 
     def home_slice(self, block: int) -> int:
-        """Home tile of a block (static address interleaving)."""
-        return block % len(self._directories)
+        """Home tile of a block (static address interleaving).
+
+        NOTE: ``access_scalar`` and ``_handle_victim`` inline this rule
+        (and :meth:`slice_local_address`) against ``self._num_slices``;
+        change the interleaving in all three places together.
+        """
+        return block % self._num_slices
 
     def slice_local_address(self, block: int) -> int:
         """Block address as seen by its home directory slice.
@@ -155,11 +177,11 @@ class TiledCMP:
         the sets would ever be used).  Directories in this model operate
         on these slice-local addresses.
         """
-        return block // len(self._directories)
+        return block // self._num_slices
 
     def global_address(self, local_block: int, slice_id: int) -> int:
         """Inverse of :meth:`slice_local_address` for a given home slice."""
-        return local_block * len(self._directories) + slice_id
+        return local_block * self._num_slices + slice_id
 
     def tracked_cache_id(self, core: int, is_instruction: bool) -> int:
         """Tracked-cache id for an access issued by ``core``."""
@@ -202,26 +224,43 @@ class TiledCMP:
     # -- the access path ---------------------------------------------------------
     def access(self, access: MemoryAccess) -> None:
         """Execute one memory access through the coherence protocol."""
+        self.access_scalar(
+            access.core, access.address, access.is_write, access.is_instruction
+        )
+
+    def access_scalar(
+        self, core: int, address: int, is_write: bool, is_instruction: bool
+    ) -> None:
+        """Execute one access given as plain scalars (the chunked hot path).
+
+        Behaviourally identical to :meth:`access`; exists so the simulator's
+        chunked loop never materialises :class:`MemoryAccess` objects.
+        """
         self._accesses += 1
-        block = self.block_address(access.address)
-        cache_id = self.tracked_cache_id(access.core, access.is_instruction)
+        block = self._page_mapper.translate(address) >> self._offset_bits
+        if not 0 <= core < self._num_cores:
+            raise IndexError(f"core {core} out of range")
+        if self._l1_tracked:
+            cache_id = core * 2 + (0 if is_instruction else 1)
+        else:
+            cache_id = core
         cache = self._tracked[cache_id]
-        home = self.home_slice(block)
-        local = self.slice_local_address(block)
+        home = block % self._num_slices
+        local = block // self._num_slices
         directory = self._directories[home]
 
-        hit = cache.touch(block, write=access.is_write)
+        hit = cache.touch(block, write=is_write)
         if hit:
-            if access.is_write:
+            if is_write:
                 self._handle_write_hit(block, local, cache_id, cache, home, directory)
             return
 
         # Miss: consult the home directory (and the shared L2 bank for stats).
         if self._l2_banks is not None:
             bank = self._l2_banks[home]
-            if not bank.touch(block, write=access.is_write):
+            if not bank.touch(block, write=is_write):
                 bank.fill(block)
-        if access.is_write:
+        if is_write:
             self._handle_write_miss(block, local, cache_id, cache, home, directory)
         else:
             self._handle_read_miss(block, local, cache_id, cache, home, directory)
@@ -244,7 +283,7 @@ class TiledCMP:
             cache.set_state(block, CoherenceState.MODIFIED)
             return
         # S -> M upgrade: the home must invalidate the other sharers.
-        self._record(MessageType.GET_MODIFIED, self.core_of_cache(cache_id), home)
+        self._record(MessageType.GET_MODIFIED, self._core_of[cache_id], home)
         result = directory.acquire_exclusive(local, cache_id)
         self._apply_coherence_invalidations(block, result, home, requester=cache_id)
         self._apply_forced_invalidations(result.invalidations, home)
@@ -259,11 +298,11 @@ class TiledCMP:
         home: int,
         directory: Directory,
     ) -> None:
-        self._record(MessageType.GET_MODIFIED, self.core_of_cache(cache_id), home)
+        self._record(MessageType.GET_MODIFIED, self._core_of[cache_id], home)
         result = directory.acquire_exclusive(local, cache_id)
         self._apply_coherence_invalidations(block, result, home, requester=cache_id)
         self._apply_forced_invalidations(result.invalidations, home)
-        self._record(MessageType.DATA, home, self.core_of_cache(cache_id))
+        self._record(MessageType.DATA, home, self._core_of[cache_id])
         fill = cache.fill(block, state=CoherenceState.MODIFIED, dirty=True)
         self._handle_victim(fill, cache_id)
 
@@ -276,7 +315,7 @@ class TiledCMP:
         home: int,
         directory: Directory,
     ) -> None:
-        self._record(MessageType.GET_SHARED, self.core_of_cache(cache_id), home)
+        self._record(MessageType.GET_SHARED, self._core_of[cache_id], home)
         existing = directory.lookup(local)
         if existing.found:
             self._downgrade_owner(block, existing.sharers, home, requester=cache_id)
@@ -285,7 +324,7 @@ class TiledCMP:
             new_state = CoherenceState.EXCLUSIVE
         result = directory.add_sharer(local, cache_id)
         self._apply_forced_invalidations(result.invalidations, home)
-        self._record(MessageType.DATA, home, self.core_of_cache(cache_id))
+        self._record(MessageType.DATA, home, self._core_of[cache_id])
         fill = cache.fill(block, state=new_state)
         self._handle_victim(fill, cache_id)
 
@@ -300,11 +339,11 @@ class TiledCMP:
             state = owner_cache.state_of(block)
             if state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
                 self._record(
-                    MessageType.FWD_GET, home, self.core_of_cache(sharer)
+                    MessageType.FWD_GET, home, self._core_of[sharer]
                 )
                 if state is CoherenceState.MODIFIED:
                     self._record(
-                        MessageType.PUT_MODIFIED, self.core_of_cache(sharer), home
+                        MessageType.PUT_MODIFIED, self._core_of[sharer], home
                     )
                 owner_cache.set_state(block, CoherenceState.SHARED)
 
@@ -315,9 +354,9 @@ class TiledCMP:
         for sharer in result.coherence_invalidations:
             if sharer == requester:
                 continue
-            self._record(MessageType.INVALIDATE, home, self.core_of_cache(sharer))
+            self._record(MessageType.INVALIDATE, home, self._core_of[sharer])
             self._tracked[sharer].invalidate(block)
-            self._record(MessageType.INV_ACK, self.core_of_cache(sharer), home)
+            self._record(MessageType.INV_ACK, self._core_of[sharer], home)
 
     def _apply_forced_invalidations(
         self, invalidations: Sequence[Invalidation], home: int
@@ -334,25 +373,26 @@ class TiledCMP:
             block = self.global_address(invalidation.address, home)
             for sharer in invalidation.caches:
                 self._record(
-                    MessageType.INVALIDATE, home, self.core_of_cache(sharer)
+                    MessageType.INVALIDATE, home, self._core_of[sharer]
                 )
                 self._tracked[sharer].invalidate(block)
                 self._record(
-                    MessageType.INV_ACK, self.core_of_cache(sharer), home
+                    MessageType.INV_ACK, self._core_of[sharer], home
                 )
 
     def _handle_victim(self, fill_result, cache_id: int) -> None:
         """Notify the victim's home directory of a private-cache eviction."""
-        if fill_result.victim_address is None:
-            return
         victim = fill_result.victim_address
-        victim_home = self.home_slice(victim)
+        if victim is None:
+            return
+        num_slices = self._num_slices
+        victim_home = victim % num_slices
         message = (
             MessageType.PUT_MODIFIED if fill_result.victim_dirty else MessageType.PUT_SHARED
         )
-        self._record(message, self.core_of_cache(cache_id), victim_home)
+        self._record(message, self._core_of[cache_id], victim_home)
         self._directories[victim_home].remove_sharer(
-            self.slice_local_address(victim), cache_id
+            victim // num_slices, cache_id
         )
 
     # -- consistency checking (used by integration tests) --------------------------
@@ -383,5 +423,10 @@ class TiledCMP:
     def _record(self, message_type: MessageType, source: int, destination: int) -> None:
         if not self._track_traffic:
             return
-        hops = self._mesh.hops(source, destination)
-        self._traffic.record(message_type, hops=hops)
+        # Inlined TrafficStats.record: this runs a few times per access and
+        # the counters are plain attributes (the message dict is initialised
+        # with every type, so no .get fallback is needed).
+        traffic = self._traffic
+        traffic.messages[message_type] += 1
+        traffic.hops += self._hop_table[source][destination]
+        traffic.bytes_transferred += MESSAGE_BYTES_BY_TYPE[message_type]

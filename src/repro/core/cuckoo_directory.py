@@ -24,6 +24,8 @@ from typing import Optional, Type
 
 from repro.core.cuckoo_hash import CuckooHashTable, InsertOutcome
 from repro.directories.base import (
+    LOOKUP_MISS,
+    SHARERS_UPDATED,
     Directory,
     Invalidation,
     LookupResult,
@@ -80,6 +82,11 @@ class CuckooDirectory(Directory):
         self._sharer_cls = sharer_cls
         self._sharer_kwargs = sharer_kwargs
         self._tag_bits = tag_bits
+        # Entry width is fixed by the constructor arguments; computed once
+        # so the per-operation bit accounting does not re-derive it.
+        self._entry_bits = 1 + tag_bits + sharer_cls.storage_bits(
+            num_caches, **sharer_kwargs
+        )
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -102,25 +109,24 @@ class CuckooDirectory(Directory):
     @property
     def entry_bits(self) -> int:
         """Width of one directory entry (valid bit + tag + sharer encoding)."""
-        return 1 + self._tag_bits + self._sharer_cls.storage_bits(
-            self._num_caches, **self._sharer_kwargs
-        )
+        return self._entry_bits
 
     def entry_count(self) -> int:
         return len(self._table)
 
     # -- operations -------------------------------------------------------------
     def lookup(self, address: int) -> LookupResult:
-        self._stats.lookups += 1
+        stats = self._stats
+        stats.lookups += 1
         # A lookup reads the tags of all ways in parallel plus the matching
         # entry's sharer bits — the same cost as a set-associative lookup.
-        self._stats.bits_read += self.num_ways * self._tag_bits
+        stats.bits_read += self._table.num_ways * self._tag_bits
         sharers = self._table.get(address)
         if sharers is None:
-            self._stats.lookup_misses += 1
-            return LookupResult(found=False)
-        self._stats.lookup_hits += 1
-        self._stats.bits_read += self.entry_bits - self._tag_bits
+            stats.lookup_misses += 1
+            return LOOKUP_MISS
+        stats.lookup_hits += 1
+        stats.bits_read += self._entry_bits - self._tag_bits
         return LookupResult(found=True, sharers=sharers.sharers())
 
     def add_sharer(self, address: int, cache_id: int) -> UpdateResult:
@@ -128,9 +134,10 @@ class CuckooDirectory(Directory):
         existing = self._table.get(address)
         if existing is not None:
             existing.add(cache_id)
-            self._stats.sharer_additions += 1
-            self._stats.bits_written += self.entry_bits - self._tag_bits
-            return UpdateResult(inserted_new_entry=False, attempts=0)
+            stats = self._stats
+            stats.sharer_additions += 1
+            stats.bits_written += self._entry_bits - self._tag_bits
+            return SHARERS_UPDATED
 
         sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
         sharers.add(cache_id)
@@ -160,11 +167,12 @@ class CuckooDirectory(Directory):
         if sharers is None:
             return
         sharers.remove(cache_id)
-        self._stats.sharer_removals += 1
-        self._stats.bits_written += self.entry_bits - self._tag_bits
+        stats = self._stats
+        stats.sharer_removals += 1
+        stats.bits_written += self._entry_bits - self._tag_bits
         if sharers.is_empty():
             self._table.remove(address)
-            self._stats.entry_removals += 1
+            stats.entry_removals += 1
 
     # -- convenience constructors -------------------------------------------------
     @classmethod

@@ -22,21 +22,34 @@ describes:
   where the previous insertion stopped, keeping the ways uniformly
   filled (Section 4.2).
 
-The table maps integer keys (block addresses) to arbitrary values
-(sharer sets in the directory; ``None`` in the raw hash-characterisation
-experiments of Figure 7).
+The table maps non-negative integer keys (block addresses) to arbitrary
+values (sharer sets in the directory; ``None`` in the raw
+hash-characterisation experiments of Figure 7).
+
+Storage layout
+--------------
+Each way is a flat parallel pair of arrays — ``keys[way][index]`` and
+``values[way][index]`` — with ``_EMPTY`` (-1) as the vacant-slot sentinel
+in the key array.  The displacement walk therefore swaps plain list
+elements and allocates nothing; there is no per-slot wrapper object to
+create, chase or collect.  The per-way hash functions are hoisted into a
+local tuple of closures (:meth:`~repro.hashing.base.HashFamily.
+way_functions`) so the walk does no way dispatch either.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 from repro.hashing.base import HashFamily
 from repro.hashing.skewing import SkewingHashFamily
 
 __all__ = ["InsertOutcome", "InsertResult", "CuckooHashTable"]
+
+#: Vacant-slot sentinel in the flat key arrays (keys are non-negative).
+_EMPTY = -1
 
 
 class InsertOutcome(str, Enum):
@@ -67,16 +80,8 @@ class InsertResult:
         return self.outcome is InsertOutcome.EVICTED_VICTIM
 
 
-class _Slot:
-    __slots__ = ("key", "value")
-
-    def __init__(self, key: int, value: Any) -> None:
-        self.key = key
-        self.value = value
-
-
 class CuckooHashTable:
-    """A d-ary cuckoo hash table over integer keys.
+    """A d-ary cuckoo hash table over non-negative integer keys.
 
     Parameters
     ----------
@@ -112,11 +117,26 @@ class CuckooHashTable:
         self._hashes = hash_family or SkewingHashFamily(num_ways, num_sets)
         if self._hashes.num_ways != num_ways or self._hashes.num_sets != num_sets:
             raise ValueError("hash family geometry does not match the table")
-        self._ways: List[List[Optional[_Slot]]] = [
-            [None] * num_sets for _ in range(num_ways)
-        ]
+        self._way_fns = tuple(self._hashes.way_functions())
+        self._indices_fn = self._hashes.indices_function()
+        self._keys: List[List[int]] = [[_EMPTY] * num_sets for _ in range(num_ways)]
+        self._values: List[List[Any]] = [[None] * num_sets for _ in range(num_ways)]
         self._size = 0
         self._start_way = 0
+        # One-entry candidate-index memo.  The directory consults the table
+        # two or three times per coherence operation with the *same* key
+        # (lookup, then add/remove); hash functions are pure, so the last
+        # key's per-way indices can be reused verbatim.
+        self._memo_key = _EMPTY
+        self._memo_indices: List[int] = []
+        # InsertResult is frozen, so the non-evicting outcomes (UPDATED and
+        # INSERTED-with-N-attempts, N <= max_attempts) are preallocated and
+        # shared; only the rare cut-off walk builds a result object.
+        self._updated_result = InsertResult(outcome=InsertOutcome.UPDATED, attempts=0)
+        self._inserted_results: List[Optional[InsertResult]] = [None] + [
+            InsertResult(outcome=InsertOutcome.INSERTED, attempts=attempts)
+            for attempts in range(1, max_attempts + 1)
+        ]
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -148,81 +168,142 @@ class CuckooHashTable:
     # -- lookup ---------------------------------------------------------------
     def candidate_slots(self, key: int) -> List[Tuple[int, int]]:
         """The ``(way, index)`` candidates of ``key``, one per way."""
-        return [(way, self._hashes.index(way, key)) for way in range(self._num_ways)]
+        return [(way, fn(key)) for way, fn in enumerate(self._way_fns)]
 
-    def find(self, key: int) -> Optional[Tuple[int, int]]:
-        """Locate ``key``; returns its ``(way, index)`` or ``None``."""
-        for way, index in self.candidate_slots(key):
-            slot = self._ways[way][index]
-            if slot is not None and slot.key == key:
+    def _indices_of(self, key: int) -> List[int]:
+        """The key's per-way set indices, memoized for the last key seen."""
+        if key == self._memo_key:
+            return self._memo_indices
+        indices = self._indices_fn(key)
+        self._memo_key = key
+        self._memo_indices = indices
+        return indices
+
+    def find(
+        self, key: int, candidate_indices: Optional[Sequence[int]] = None
+    ) -> Optional[Tuple[int, int]]:
+        """Locate ``key``; returns its ``(way, index)`` or ``None``.
+
+        ``candidate_indices`` optionally supplies the key's per-way set
+        indices (from :meth:`~repro.hashing.base.HashFamily.batch_indices`)
+        so a batched caller pays no per-call hashing.
+        """
+        if key < 0:  # would otherwise match the _EMPTY sentinel
+            return None
+        keys = self._keys
+        if candidate_indices is None:
+            candidate_indices = self._indices_of(key)
+        for way, index in enumerate(candidate_indices):
+            if keys[way][index] == key:
                 return way, index
         return None
 
     def get(self, key: int, default: Any = None) -> Any:
-        location = self.find(key)
-        if location is None:
+        if key < 0:  # would otherwise match the _EMPTY sentinel
             return default
-        way, index = location
-        slot = self._ways[way][index]
-        assert slot is not None
-        return slot.value
+        keys = self._keys
+        # Memo protocol inlined from _indices_of: get() is the single
+        # hottest method and the call overhead is measurable.  Keep the
+        # two in lockstep.
+        if key == self._memo_key:
+            indices = self._memo_indices
+        else:
+            indices = self._indices_fn(key)
+            self._memo_key = key
+            self._memo_indices = indices
+        for way, index in enumerate(indices):
+            if keys[way][index] == key:
+                return self._values[way][index]
+        return default
 
     def __contains__(self, key: int) -> bool:
         return self.find(key) is not None
 
     def items(self) -> Iterator[Tuple[int, Any]]:
         """All stored ``(key, value)`` pairs (iteration order unspecified)."""
-        for way in self._ways:
-            for slot in way:
-                if slot is not None:
-                    yield slot.key, slot.value
+        for way_keys, way_values in zip(self._keys, self._values):
+            for key, value in zip(way_keys, way_values):
+                if key != _EMPTY:
+                    yield key, value
 
     def keys(self) -> Iterator[int]:
         for key, _ in self.items():
             yield key
 
     # -- mutation ---------------------------------------------------------------
-    def insert(self, key: int, value: Any = None) -> InsertResult:
+    def insert(
+        self,
+        key: int,
+        value: Any = None,
+        candidate_indices: Optional[Sequence[int]] = None,
+    ) -> InsertResult:
         """Insert ``key``; returns how the walk terminated and how many attempts it took.
 
         Inserting a key that is already present replaces its value and
         counts zero attempts (the directory's add-sharer path never reaches
         this method for existing entries, but the table stays well defined
-        as a standalone container).
+        as a standalone container).  ``candidate_indices`` optionally
+        carries the key's precomputed per-way indices; the displacement
+        walk still hashes the *displaced* keys itself.
         """
-        existing = self.find(key)
-        if existing is not None:
-            way, index = existing
-            slot = self._ways[way][index]
-            assert slot is not None
-            slot.value = value
-            return InsertResult(outcome=InsertOutcome.UPDATED, attempts=0)
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        keys = self._keys
+        values = self._values
+        way_fns = self._way_fns
+        if candidate_indices is None:
+            if key == self._memo_key:
+                candidate_indices = self._memo_indices
+            else:
+                candidate_indices = self._indices_fn(key)
+                self._memo_key = key
+                self._memo_indices = candidate_indices
+
+        for way, index in enumerate(candidate_indices):
+            if keys[way][index] == key:
+                values[way][index] = value
+                return self._updated_result
 
         # The lookup that preceded the insertion has already revealed whether a
         # vacant candidate slot exists; writing into it is the single attempt.
-        vacant = self._first_vacant_candidate(key)
-        if vacant is not None:
-            way, index = vacant
-            self._ways[way][index] = _Slot(key, value)
-            self._size += 1
-            self._start_way = way
-            return InsertResult(outcome=InsertOutcome.INSERTED, attempts=1)
-
-        # All candidates are occupied: displacement walk.
-        current = _Slot(key, value)
-        way = self._start_way
-        attempts = 0
-        while attempts < self._max_attempts:
-            attempts += 1
-            index = self._hashes.index(way, current.key)
-            victim = self._ways[way][index]
-            self._ways[way][index] = current
-            if victim is None:
+        num_ways = self._num_ways
+        start_way = self._start_way
+        for offset in range(num_ways):
+            way = start_way + offset
+            if way >= num_ways:
+                way -= num_ways
+            index = candidate_indices[way]
+            if keys[way][index] == _EMPTY:
+                keys[way][index] = key
+                values[way][index] = value
                 self._size += 1
                 self._start_way = way
-                return InsertResult(outcome=InsertOutcome.INSERTED, attempts=attempts)
-            current = victim
-            way = (way + 1) % self._num_ways
+                return self._inserted_results[1]
+
+        # All candidates are occupied: displacement walk.
+        current_key = key
+        current_value = value
+        way = start_way
+        attempts = 0
+        max_attempts = self._max_attempts
+        while attempts < max_attempts:
+            attempts += 1
+            index = way_fns[way](current_key)
+            way_keys = keys[way]
+            victim_key = way_keys[index]
+            way_values = values[way]
+            victim_value = way_values[index]
+            way_keys[index] = current_key
+            way_values[index] = current_value
+            if victim_key == _EMPTY:
+                self._size += 1
+                self._start_way = way
+                return self._inserted_results[attempts]
+            current_key = victim_key
+            current_value = victim_value
+            way += 1
+            if way == num_ways:
+                way = 0
 
         # Walk cut off: the most recently displaced entry is discarded.  The
         # new key itself has been written into the table (self._size is
@@ -231,8 +312,8 @@ class CuckooHashTable:
         return InsertResult(
             outcome=InsertOutcome.EVICTED_VICTIM,
             attempts=attempts,
-            evicted_key=current.key,
-            evicted_value=current.value,
+            evicted_key=current_key,
+            evicted_value=current_value,
         )
 
     def remove(self, key: int) -> bool:
@@ -241,14 +322,15 @@ class CuckooHashTable:
         if location is None:
             return False
         way, index = location
-        self._ways[way][index] = None
+        self._keys[way][index] = _EMPTY
+        self._values[way][index] = None
         self._size -= 1
         return True
 
     def clear(self) -> None:
-        for way in self._ways:
-            for index in range(self._num_sets):
-                way[index] = None
+        for way in range(self._num_ways):
+            self._keys[way] = [_EMPTY] * self._num_sets
+            self._values[way] = [None] * self._num_sets
         self._size = 0
         self._start_way = 0
 
@@ -256,8 +338,8 @@ class CuckooHashTable:
     def way_occupancies(self) -> List[float]:
         """Per-way fill fraction (the round-robin start keeps these balanced)."""
         return [
-            sum(1 for slot in way if slot is not None) / self._num_sets
-            for way in self._ways
+            sum(1 for key in way_keys if key != _EMPTY) / self._num_sets
+            for way_keys in self._keys
         ]
 
     def has_vacant_candidate(self, key: int) -> bool:
@@ -266,11 +348,14 @@ class CuckooHashTable:
     # -- internals ------------------------------------------------------------
     def _first_vacant_candidate(self, key: int) -> Optional[Tuple[int, int]]:
         """Scan the candidate slots starting at the round-robin way."""
-        for offset in range(self._num_ways):
-            way = (self._start_way + offset) % self._num_ways
-            index = self._hashes.index(way, key)
-            if self._ways[way][index] is None:
-                return way, index
+        num_ways = self._num_ways
+        indices = self._indices_of(key)
+        for offset in range(num_ways):
+            way = self._start_way + offset
+            if way >= num_ways:
+                way -= num_ways
+            if self._keys[way][indices[way]] == _EMPTY:
+                return way, indices[way]
         return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

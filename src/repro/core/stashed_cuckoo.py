@@ -29,7 +29,12 @@ from typing import Optional, Type
 
 from repro.core.cuckoo_directory import CuckooDirectory
 from repro.core.cuckoo_hash import InsertOutcome
-from repro.directories.base import Invalidation, LookupResult, UpdateResult
+from repro.directories.base import (
+    SHARERS_UPDATED,
+    Invalidation,
+    LookupResult,
+    UpdateResult,
+)
 from repro.directories.sharers import FullBitVector, SharerSet
 from repro.hashing.base import HashFamily
 
@@ -113,7 +118,7 @@ class StashedCuckooDirectory(CuckooDirectory):
             stashed.add(cache_id)
             self._stats.sharer_additions += 1
             self._stats.bits_written += self.entry_bits - self._tag_bits
-            return UpdateResult(inserted_new_entry=False, attempts=0)
+            return SHARERS_UPDATED
 
         existing = self._table.get(address)
         if existing is not None:

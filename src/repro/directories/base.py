@@ -101,6 +101,14 @@ class UpdateResult:
         return len(self.invalidations)
 
 
+#: Shared immutable results for the two most common directory outcomes:
+#: a lookup miss and an in-place sharer update.  Both classes are frozen,
+#: so handing every caller the same instance is safe and saves one
+#: dataclass construction per directory operation on the hot path.
+LOOKUP_MISS = LookupResult(found=False)
+SHARERS_UPDATED = UpdateResult(inserted_new_entry=False, attempts=0)
+
+
 @dataclass
 class DirectoryStats:
     """Event counters shared by every directory organization."""

@@ -22,13 +22,22 @@ return a superset of the true sharers (never a subset), which preserves
 coherence correctness at the cost of extra invalidation traffic.  Each
 class also reports its storage width so the energy/area model can cost
 directory entries without duplicating encoding rules.
+
+Every representation stores its membership as one Python integer used as
+a bitmask (bit *i* set == cache *i* holds the block) — exactly the
+presence-bit vector the hardware stores.  Membership tests are a shift
+and an AND, add/remove are single OR/AND-NOT operations, and the
+simulator's per-access mutations allocate nothing.  The ``sharers()`` /
+``exact_sharers()`` frozenset views are materialised only when a caller
+actually needs to fan invalidations out.
 """
 
 from __future__ import annotations
 
 import abc
 import math
-from typing import FrozenSet, Iterable, Iterator, List, Set
+from functools import lru_cache
+from typing import FrozenSet, Iterator, List
 
 __all__ = [
     "SharerSet",
@@ -40,8 +49,24 @@ __all__ = [
 ]
 
 
+@lru_cache(maxsize=None)
 def _ceil_log2(value: int) -> int:
     return max(1, math.ceil(math.log2(value))) if value > 1 else 1
+
+
+def _iter_bits(mask: int) -> Iterator[int]:
+    """Yield the set bit positions of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+try:  # int.bit_count is Python >= 3.10; CI also runs 3.9.
+    _popcount = int.bit_count  # type: ignore[attr-defined]
+except AttributeError:  # pragma: no cover - exercised on older interpreters
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
 
 
 class SharerSet(abc.ABC):
@@ -51,13 +76,14 @@ class SharerSet(abc.ABC):
         if num_caches <= 0:
             raise ValueError("num_caches must be positive")
         self._num_caches = num_caches
-        self._members: Set[int] = set()
+        self._mask = 0
 
     # -- core mutation -----------------------------------------------------
     def add(self, cache_id: int) -> None:
         """Record that ``cache_id`` holds the block."""
-        self._check_cache(cache_id)
-        self._members.add(cache_id)
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        self._mask |= 1 << cache_id
         self._on_change()
 
     def remove(self, cache_id: int) -> None:
@@ -67,19 +93,24 @@ class SharerSet(abc.ABC):
         behaviour of hardware directories that receive redundant eviction
         notifications.
         """
-        self._check_cache(cache_id)
-        self._members.discard(cache_id)
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        self._mask &= ~(1 << cache_id)
         self._on_change()
 
     def clear(self) -> None:
         """Drop all sharers (entry invalidated)."""
-        self._members.clear()
+        self._mask = 0
         self._on_change()
 
     # -- queries -----------------------------------------------------------
+    def member_mask(self) -> int:
+        """The true sharers as a presence bitmask (LSB = cache 0)."""
+        return self._mask
+
     def exact_sharers(self) -> FrozenSet[int]:
         """The true sharers (ground truth kept for bookkeeping)."""
-        return frozenset(self._members)
+        return frozenset(_iter_bits(self._mask))
 
     @abc.abstractmethod
     def sharers(self) -> FrozenSet[int]:
@@ -90,15 +121,15 @@ class SharerSet(abc.ABC):
         """
 
     def is_empty(self) -> bool:
-        return not self._members
+        return not self._mask
 
     def count(self) -> int:
         """Number of true sharers."""
-        return len(self._members)
+        return _popcount(self._mask)
 
     def contains(self, cache_id: int) -> bool:
         self._check_cache(cache_id)
-        return cache_id in self._members
+        return (self._mask >> cache_id) & 1 == 1
 
     @property
     def num_caches(self) -> int:
@@ -130,13 +161,13 @@ class SharerSet(abc.ABC):
             )
 
     def __iter__(self) -> Iterator[int]:
-        return iter(sorted(self._members))
+        return _iter_bits(self._mask)
 
     def __len__(self) -> int:
-        return len(self._members)
+        return _popcount(self._mask)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        ids = ",".join(str(i) for i in sorted(self._members))
+        ids = ",".join(str(i) for i in _iter_bits(self._mask))
         return f"{type(self).__name__}«{ids}»"
 
 
@@ -144,11 +175,11 @@ class FullBitVector(SharerSet):
     """Exact full bit-vector: one presence bit per cache."""
 
     def sharers(self) -> FrozenSet[int]:
-        return frozenset(self._members)
+        return frozenset(_iter_bits(self._mask))
 
     def as_bits(self) -> List[int]:
         """The presence bit vector, LSB = cache 0 (useful for tests)."""
-        return [1 if i in self._members else 0 for i in range(self._num_caches)]
+        return [(self._mask >> i) & 1 for i in range(self._num_caches)]
 
     @classmethod
     def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
@@ -186,6 +217,13 @@ class CoarseVector(SharerSet):
         self._num_pointers = num_pointers
         self._vector_bits = min(vector_bits, num_caches)
         self._region_size = math.ceil(num_caches / self._vector_bits)
+        # region_masks[r] covers the caches of region r, clipped to the
+        # cache count; built once so the coarse fan-out is a few ORs.
+        region_size = self._region_size
+        self._region_masks = []
+        for start in range(0, num_caches, region_size):
+            width = min(region_size, num_caches - start)
+            self._region_masks.append(((1 << width) - 1) << start)
 
     @property
     def num_pointers(self) -> int:
@@ -198,19 +236,17 @@ class CoarseVector(SharerSet):
     @property
     def is_coarse(self) -> bool:
         """Whether the entry has overflowed into the coarse encoding."""
-        return len(self._members) > self._num_pointers
+        return _popcount(self._mask) > self._num_pointers
 
     def sharers(self) -> FrozenSet[int]:
         if not self.is_coarse:
-            return frozenset(self._members)
-        covered: Set[int] = set()
-        for cache_id in self._members:
-            region = cache_id // self._region_size
-            start = region * self._region_size
-            covered.update(
-                range(start, min(start + self._region_size, self._num_caches))
-            )
-        return frozenset(covered)
+            return frozenset(_iter_bits(self._mask))
+        covered = 0
+        region_size = self._region_size
+        region_masks = self._region_masks
+        for cache_id in _iter_bits(self._mask):
+            covered |= region_masks[cache_id // region_size]
+        return frozenset(_iter_bits(covered))
 
     @classmethod
     def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
@@ -234,12 +270,12 @@ class LimitedPointer(SharerSet):
 
     @property
     def is_broadcast(self) -> bool:
-        return len(self._members) > self._num_pointers
+        return _popcount(self._mask) > self._num_pointers
 
     def sharers(self) -> FrozenSet[int]:
         if self.is_broadcast:
             return frozenset(range(self._num_caches))
-        return frozenset(self._members)
+        return frozenset(_iter_bits(self._mask))
 
     @classmethod
     def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
@@ -280,10 +316,11 @@ class HierarchicalVector(SharerSet):
 
     def groups_in_use(self) -> FrozenSet[int]:
         """First-level groups that currently contain at least one sharer."""
-        return frozenset(cache_id // self._group_size for cache_id in self._members)
+        group_size = self._group_size
+        return frozenset(cache_id // group_size for cache_id in _iter_bits(self._mask))
 
     def sharers(self) -> FrozenSet[int]:
-        return frozenset(self._members)
+        return frozenset(_iter_bits(self._mask))
 
     @classmethod
     def storage_bits(cls, num_caches: int, **kwargs: int) -> int:
@@ -316,10 +353,13 @@ _FORMATS = {
 }
 
 
+@lru_cache(maxsize=None)
 def sharer_format(name: str):
     """Look up a sharer-set class by its short name.
 
     Valid names: ``full``, ``coarse``, ``limited``, ``hierarchical``.
+    The lookup is memoized so the energy/area model can resolve formats
+    per entry without paying the error-path string formatting.
     """
     try:
         return _FORMATS[name]

@@ -16,6 +16,8 @@ from __future__ import annotations
 from typing import List, Optional, Type
 
 from repro.directories.base import (
+    LOOKUP_MISS,
+    SHARERS_UPDATED,
     Directory,
     Invalidation,
     LookupResult,
@@ -69,6 +71,10 @@ class SkewedDirectory(Directory):
         ]
         self._live_entries = 0
         self._clock = 0
+        self._entry_bits = 1 + tag_bits + sharer_cls.storage_bits(
+            num_caches, **sharer_kwargs
+        )
+        self._way_fns = self._hashes.way_functions()
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -85,9 +91,7 @@ class SkewedDirectory(Directory):
 
     @property
     def entry_bits(self) -> int:
-        return 1 + self._tag_bits + self._sharer_cls.storage_bits(
-            self._num_caches, **self._sharer_kwargs
-        )
+        return self._entry_bits
 
     def entry_count(self) -> int:
         return self._live_entries
@@ -99,7 +103,7 @@ class SkewedDirectory(Directory):
         found = self._find(address)
         if found is None:
             self._stats.lookup_misses += 1
-            return LookupResult(found=False)
+            return LOOKUP_MISS
         self._stats.lookup_hits += 1
         self._stats.bits_read += self.entry_bits - self._tag_bits
         _, _, entry = found
@@ -114,11 +118,11 @@ class SkewedDirectory(Directory):
             self._touch(entry)
             self._stats.sharer_additions += 1
             self._stats.bits_written += self.entry_bits - self._tag_bits
-            return UpdateResult(inserted_new_entry=False, attempts=0)
+            return SHARERS_UPDATED
 
         invalidations = []
         candidates = [
-            (way, self._hashes.index(way, address)) for way in range(self._num_ways)
+            (way, fn(address)) for way, fn in enumerate(self._way_fns)
         ]
         slot = next(
             ((w, s) for w, s in candidates if self._ways[w][s] is None), None
@@ -171,9 +175,10 @@ class SkewedDirectory(Directory):
 
     # -- helpers -------------------------------------------------------------
     def _find(self, address: int):
-        for way in range(self._num_ways):
-            set_index = self._hashes.index(way, address)
-            entry = self._ways[way][set_index]
+        ways = self._ways
+        for way, fn in enumerate(self._way_fns):
+            set_index = fn(address)
+            entry = ways[way][set_index]
             if entry is not None and entry.address == address:
                 return way, set_index, entry
         return None

@@ -17,6 +17,8 @@ import math
 from typing import Dict, List, Optional, Type
 
 from repro.directories.base import (
+    LOOKUP_MISS,
+    SHARERS_UPDATED,
     Directory,
     DirectoryEntry,
     Invalidation,
@@ -74,6 +76,9 @@ class SparseDirectory(Directory):
         self._tag_bits = tag_bits
         self._sets: List[List[_SetEntry]] = [[] for _ in range(num_sets)]
         self._clock = 0
+        self._entry_bits = 1 + tag_bits + sharer_cls.storage_bits(
+            num_caches, **sharer_kwargs
+        )
 
     # -- geometry --------------------------------------------------------
     @property
@@ -91,9 +96,7 @@ class SparseDirectory(Directory):
     @property
     def entry_bits(self) -> int:
         """Width of one directory entry (tag + sharer encoding + valid bit)."""
-        return 1 + self._tag_bits + self._sharer_cls.storage_bits(
-            self._num_caches, **self._sharer_kwargs
-        )
+        return self._entry_bits
 
     def set_index(self, address: int) -> int:
         return address % self._num_sets
@@ -108,7 +111,7 @@ class SparseDirectory(Directory):
         entry = self._find(address)
         if entry is None:
             self._stats.lookup_misses += 1
-            return LookupResult(found=False)
+            return LOOKUP_MISS
         self._stats.lookup_hits += 1
         self._stats.bits_read += self.entry_bits - self._tag_bits
         return LookupResult(found=True, sharers=entry.sharers.sharers())
@@ -121,7 +124,7 @@ class SparseDirectory(Directory):
             self._touch(entry)
             self._stats.sharer_additions += 1
             self._stats.bits_written += self.entry_bits - self._tag_bits
-            return UpdateResult(inserted_new_entry=False, attempts=0)
+            return SHARERS_UPDATED
 
         # Allocate a new entry; a full set forces an invalidation of the victim.
         invalidations = []

@@ -28,6 +28,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Mapping, Sequence
 
 from repro.config import PAPER_EVENT_MIX, CacheConfig
@@ -122,8 +123,15 @@ class ScalingScenario:
         return l2_data_array_area(self.l2_config, self.params)
 
 
+@lru_cache(maxsize=None)
 def _sharer_bits(encoding: str, num_caches: int) -> float:
-    """Per-entry sharer-encoding width for ``num_caches`` caches."""
+    """Per-entry sharer-encoding width for ``num_caches`` caches.
+
+    Memoized (together with :func:`repro.directories.sharers._ceil_log2`
+    and :func:`~repro.directories.sharers.sharer_format`) so the Figure 13
+    sweep — which costs every organization at every core count — resolves
+    each (encoding, cache-count) width once instead of recomputing
+    ``math.log2`` per entry."""
     if num_caches <= 0:
         raise ValueError("num_caches must be positive")
     log_caches = max(1.0, math.ceil(math.log2(num_caches)))

@@ -132,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="EXPERIMENT",
         help="experiment names (see 'repro-run list') or 'all'",
     )
+    run_parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="instead of running the experiment, wrap one representative "
+        "simulation point in cProfile and print the top-20 entries by "
+        "cumulative time (analytical experiments profile their full run)",
+    )
     _add_sweep_options(run_parser)
     _add_engine_options(run_parser)
 
@@ -206,6 +213,48 @@ def _cmd_list() -> int:
     return 0
 
 
+def _cmd_profile(names: List[str], args: argparse.Namespace) -> int:
+    """Profile one representative point per named experiment (``--profile``)."""
+    import cProfile
+    import pstats
+
+    from repro.engine.execute import execute_spec
+    from repro.engine.registry import EXPERIMENTS, run_experiment
+
+    for name in names:
+        experiment = EXPERIMENTS[name]
+        if experiment.grid is not None:
+            grid_kwargs = {
+                option: value
+                for option, value in (
+                    ("workloads", args.workloads),
+                    ("scale", args.scale),
+                    ("measure_accesses", args.measure_accesses),
+                    ("seed", args.seed),
+                )
+                if option in experiment.options and value is not None
+            }
+            spec = experiment.grid(**grid_kwargs).specs[0]
+            label = spec.label()
+
+            def target(spec=spec):
+                execute_spec(spec)
+
+        else:
+            label = "analytical, full run"
+
+            def target(name=name):
+                run_experiment(name)
+
+        print(f"== profiling {name}: {label}", file=sys.stderr)
+        profiler = cProfile.Profile()
+        profiler.enable()
+        target()
+        profiler.disable()
+        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.engine.registry import EXPERIMENTS, run_experiment
 
@@ -220,6 +269,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+
+    if args.profile:
+        return _cmd_profile(names, args)
 
     runner = _make_runner(args)
     failures = 0

@@ -195,8 +195,10 @@ def run_workload(
         warmup_accesses=warmup_accesses,
         occupancy_sample_interval=occupancy_sample_interval,
     )
-    trace = workload.trace(system_config, seed=seed)
-    result = simulator.run(trace, max_accesses=measure_accesses)
+    # The chunked trace is access-for-access identical to workload.trace();
+    # it just skips building one MemoryAccess object per access.
+    chunks = workload.trace_chunks(system_config, seed=seed)
+    result = simulator.run_chunks(chunks, max_accesses=measure_accesses)
     frames_total = (
         system_config.num_tracked_caches
         * system_config.tracked_cache_config.num_frames

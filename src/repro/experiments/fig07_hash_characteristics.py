@@ -57,25 +57,30 @@ def _measure_arity(
     seed: int,
 ) -> HashCharacteristics:
     num_sets = max(1, capacity // arity)
+    hash_family = StrongHashFamily(arity, num_sets, seed=seed)
     table = CuckooHashTable(
         num_ways=arity,
         num_sets=num_sets,
-        hash_family=StrongHashFamily(arity, num_sets, seed=seed),
+        hash_family=hash_family,
         max_attempts=max_attempts,
     )
     rng = np.random.default_rng(seed)
-    keys = rng.integers(0, 1 << 48, size=num_keys, dtype=np.int64)
+    keys = rng.integers(0, 1 << 48, size=num_keys, dtype=np.int64).tolist()
+    # Batched hashing: every offered key's candidate indices come from one
+    # vectorized sweep, so the per-key duplicate check and insertion pay no
+    # scalar hashing at all (the displacement walk still hashes the keys it
+    # displaces, which cannot be known in advance).
+    all_indices = hash_family.batch_indices(keys)
 
     attempt_samples: List[Tuple[float, float]] = []
     failure_samples: List[Tuple[float, float]] = []
-    for key in keys:
-        key = int(key)
-        if key in table:
+    for key, candidates in zip(keys, all_indices):
+        if table.find(key, candidates) is not None:
             continue
         occupancy_before = table.occupancy()
         if occupancy_before >= 1.0:
             break
-        result = table.insert(key)
+        result = table.insert(key, candidate_indices=candidates)
         attempt_samples.append((occupancy_before, float(result.attempts)))
         failure_samples.append((occupancy_before, 0.0 if result.success else 1.0))
 

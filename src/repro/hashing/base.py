@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import List, Sequence
+from typing import Callable, List, Sequence, Tuple
 
 __all__ = ["HashFunction", "HashFamily"]
 
@@ -41,6 +41,7 @@ class HashFamily(abc.ABC):
             raise ValueError("num_sets must be positive")
         self._num_ways = num_ways
         self._num_sets = num_sets
+        self._index_bits = int(math.log2(num_sets)) if num_sets > 1 else 0
 
     @property
     def num_ways(self) -> int:
@@ -53,15 +54,57 @@ class HashFamily(abc.ABC):
     @property
     def index_bits(self) -> int:
         """Number of index bits when ``num_sets`` is a power of two."""
-        return int(math.log2(self._num_sets)) if self._num_sets > 1 else 0
+        return self._index_bits
 
     @abc.abstractmethod
     def index(self, way: int, address: int) -> int:
         """Return the set index of ``address`` in ``way``."""
 
+    def way_function(self, way: int) -> Callable[[int], int]:
+        """A single-argument callable computing ``index(way, address)``.
+
+        Hot paths (the cuckoo displacement walk, skewed lookups) bind one
+        callable per way once and then pay no per-call way dispatch or
+        attribute lookups.  The returned callable is a *trusted* fast path:
+        it assumes non-negative addresses and skips argument validation.
+        Subclasses override this with closures that inline their mixing
+        arithmetic.
+        """
+        self._check_way(way)
+        index = self.index
+        return lambda address: index(way, address)
+
+    def way_functions(self) -> List[Callable[[int], int]]:
+        """One :meth:`way_function` per way, in way order."""
+        return [self.way_function(way) for way in range(self._num_ways)]
+
+    def indices_function(self) -> Callable[[int], List[int]]:
+        """A single-argument callable computing all per-way indices at once.
+
+        The cuckoo table calls this once per key instead of one way
+        function per way; families whose ways share sub-expressions (the
+        skewing family's address bit-fields) override it with a fused
+        implementation that factors the shared work out.  Like
+        :meth:`way_function`, the result is a trusted fast path that skips
+        argument validation.
+        """
+        functions = self.way_functions()
+        return lambda address: [fn(address) for fn in functions]
+
     def indices(self, address: int) -> List[int]:
         """Return the candidate set index of ``address`` for every way."""
         return [self.index(way, address) for way in range(self._num_ways)]
+
+    def batch_indices(self, addresses: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Candidate indices for a batch of addresses, one tuple per address.
+
+        Equivalent to ``[tuple(self.indices(a)) for a in addresses]`` but
+        overridable with vectorized implementations (numpy in the skewing
+        and strong families), which is what makes precomputing the Figure 7
+        sweep's candidate indices cheap.
+        """
+        functions = self.way_functions()
+        return [tuple(fn(address) for fn in functions) for address in addresses]
 
     def _check_way(self, way: int) -> None:
         if not 0 <= way < self._num_ways:

@@ -16,13 +16,32 @@ The construction implemented here follows the published family:
   feedback function in the original paper; we use a bit rotation combined
   with a conditional bit flip, which has the same hardware cost and the
   same inter-way decorrelation property).
+
+Because ``sigma`` permutes only ``n``-bit values and ``n`` is small, every
+power of sigma a way needs is precomputed once as a lookup table of
+``num_sets`` entries; the per-address work then collapses to three masked
+shifts, two table loads and two XORs, with no Python-level loop.  This is
+the hot function of the whole simulator (every cuckoo lookup calls it once
+per way), so the tables — and the way-specialised closures built from them
+by :meth:`SkewingHashFamily.way_function` — matter.
 """
 
 from __future__ import annotations
 
+from typing import Callable, List, Sequence, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
+
 from repro.hashing.base import HashFamily
 
 __all__ = ["SkewingHashFamily", "skew_sigma"]
+
+#: Above this set count the sigma lookup tables are not materialised (the
+#: one-time build cost and memory would dwarf any per-call saving).
+_MAX_TABLE_SETS = 1 << 18
 
 
 def skew_sigma(value: int, bits: int) -> int:
@@ -49,11 +68,12 @@ class SkewingHashFamily(HashFamily):
     Way ``i`` maps address ``a`` (block address, offset bits already
     stripped by the caller or ignored via ``offset_bits``) to::
 
-        sigma^i(A1) ^ sigma^(i // 2)(A2)   mod num_sets
+        sigma^i(A1) ^ sigma^(i // 2)(A2) ^ A3   mod num_sets
 
-    where ``A1`` and ``A2`` are consecutive index-sized bit-fields of the
-    address.  Applying ``sigma`` a different number of times per way keeps
-    the functions pairwise distinct while remaining a few XOR levels deep.
+    where ``A1``, ``A2`` and ``A3`` are consecutive index-sized bit-fields
+    of the address.  Applying ``sigma`` a different number of times per way
+    keeps the functions pairwise distinct while remaining a few XOR levels
+    deep.
     """
 
     def __init__(self, num_ways: int, num_sets: int, offset_bits: int = 0) -> None:
@@ -63,6 +83,18 @@ class SkewingHashFamily(HashFamily):
         if offset_bits < 0:
             raise ValueError("offset_bits must be non-negative")
         self._offset_bits = offset_bits
+        self._sigma_tables = self._build_sigma_tables()
+
+    def _build_sigma_tables(self) -> List[List[int]]:
+        """``tables[p][v] == sigma^p(v)`` for every power any way uses."""
+        bits = self.index_bits
+        if bits == 0 or self._num_sets > _MAX_TABLE_SETS:
+            return []
+        tables = [list(range(self._num_sets))]
+        for _ in range(1, self._num_ways):
+            previous = tables[-1]
+            tables.append([skew_sigma(value, bits) for value in previous])
+        return tables
 
     @property
     def offset_bits(self) -> int:
@@ -80,8 +112,89 @@ class SkewingHashFamily(HashFamily):
         field1 = block & mask
         field2 = (block >> bits) & mask
         field3 = (block >> (2 * bits)) & mask
-        for _ in range(way):
-            field1 = skew_sigma(field1, bits)
-        for _ in range(way // 2):
-            field2 = skew_sigma(field2, bits)
+        if self._sigma_tables:
+            field1 = self._sigma_tables[way][field1]
+            field2 = self._sigma_tables[way // 2][field2]
+        else:
+            for _ in range(way):
+                field1 = skew_sigma(field1, bits)
+            for _ in range(way // 2):
+                field2 = skew_sigma(field2, bits)
         return (field1 ^ field2 ^ field3) & mask
+
+    def way_function(self, way: int) -> Callable[[int], int]:
+        """A trusted per-way closure with the sigma tables bound as defaults."""
+        self._check_way(way)
+        bits = self.index_bits
+        if bits == 0:
+            return lambda address: 0
+        if not self._sigma_tables:
+            index = self.index
+            return lambda address: index(way, address)
+        mask = (1 << bits) - 1
+        bits2 = 2 * bits
+
+        def way_index(
+            address: int,
+            _t1: List[int] = self._sigma_tables[way],
+            _t2: List[int] = self._sigma_tables[way // 2],
+            _mask: int = mask,
+            _bits: int = bits,
+            _bits2: int = bits2,
+            _offset: int = self._offset_bits,
+        ) -> int:
+            block = address >> _offset
+            return (
+                _t1[block & _mask]
+                ^ _t2[(block >> _bits) & _mask]
+                ^ ((block >> _bits2) & _mask)
+            )
+
+        return way_index
+
+    def indices_function(self) -> Callable[[int], List[int]]:
+        """Fused all-ways indexer: extract the three bit-fields once, then
+        gather from each way's sigma tables (generated straight-line code)."""
+        bits = self.index_bits
+        if bits == 0:
+            ways = self._num_ways
+            return lambda address: [0] * ways
+        if not self._sigma_tables:
+            return super().indices_function()
+        mask = (1 << bits) - 1
+        namespace = {
+            f"_t1_{way}": self._sigma_tables[way] for way in range(self._num_ways)
+        }
+        namespace.update(
+            {f"_t2_{way}": self._sigma_tables[way // 2] for way in range(self._num_ways)}
+        )
+        terms = ", ".join(
+            f"_t1_{way}[f1] ^ _t2_{way}[f2] ^ f3" for way in range(self._num_ways)
+        )
+        source = (
+            "def _all_indices(address):\n"
+            f"    block = address >> {self._offset_bits}\n"
+            f"    f1 = block & {mask}\n"
+            f"    f2 = (block >> {bits}) & {mask}\n"
+            f"    f3 = (block >> {2 * bits}) & {mask}\n"
+            f"    return [{terms}]\n"
+        )
+        exec(source, namespace)  # noqa: S102 - constants and tables only
+        return namespace["_all_indices"]
+
+    def batch_indices(self, addresses: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Vectorized candidate indices: three shifts + two table gathers."""
+        bits = self.index_bits
+        if _np is None or bits == 0 or not self._sigma_tables:
+            return super().batch_indices(addresses)
+        blocks = _np.asarray(addresses, dtype=_np.int64) >> self._offset_bits
+        mask = (1 << bits) - 1
+        field1 = blocks & mask
+        field2 = (blocks >> bits) & mask
+        field3 = (blocks >> (2 * bits)) & mask
+        tables = [_np.asarray(table, dtype=_np.int64) for table in self._sigma_tables]
+        per_way = [
+            tables[way][field1] ^ tables[way // 2][field2] ^ field3
+            for way in range(self._num_ways)
+        ]
+        return list(zip(*(column.tolist() for column in per_way)))

@@ -11,11 +11,23 @@ use the SplitMix64 finaliser (a well-studied 64-bit avalanche mixer) with a
 distinct per-way seed, which passes standard avalanche tests and is orders
 of magnitude faster in Python than hashlib digests.  A SHA-256 based family
 is also provided for tests that want a reference.
+
+The scalar mixer is inlined into the per-way closures returned by
+:meth:`StrongHashFamily.way_function` (the cuckoo walk's hot path), and
+:meth:`StrongHashFamily.batch_indices` runs the same finaliser over numpy
+``uint64`` arrays — bit-identical to the scalar path because ``uint64``
+arithmetic wraps exactly like the explicit 64-bit masking.
 """
 
 from __future__ import annotations
 
 import hashlib
+from typing import Callable, List, Sequence, Tuple
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is baked into the image
+    _np = None
 
 from repro.hashing.base import HashFamily
 
@@ -54,6 +66,68 @@ class StrongHashFamily(HashFamily):
         if address < 0:
             raise ValueError("address must be non-negative")
         return mix64(address ^ self._seeds[way]) % self._num_sets
+
+    def way_function(self, way: int) -> Callable[[int], int]:
+        """A trusted per-way closure with the mixer arithmetic inlined."""
+        self._check_way(way)
+
+        def way_index(
+            address: int,
+            _seed: int = self._seeds[way],
+            _sets: int = self._num_sets,
+            _m1: int = _MIX_MULT_1,
+            _m2: int = _MIX_MULT_2,
+            _mask: int = _MASK64,
+        ) -> int:
+            value = (address ^ _seed) & _mask
+            value ^= value >> 30
+            value = (value * _m1) & _mask
+            value ^= value >> 27
+            value = (value * _m2) & _mask
+            value ^= value >> 31
+            return value % _sets
+
+        return way_index
+
+    def indices_function(self) -> Callable[[int], List[int]]:
+        """Fused all-ways indexer: one call running the straight-line mixer
+        for every way (generated code, constants inlined)."""
+        lines = ["def _all_indices(address):"]
+        for way, seed in enumerate(self._seeds):
+            lines.append(f"    v{way} = (address ^ {seed}) & {_MASK64}")
+            lines.append(f"    v{way} ^= v{way} >> 30")
+            lines.append(f"    v{way} = (v{way} * {_MIX_MULT_1}) & {_MASK64}")
+            lines.append(f"    v{way} ^= v{way} >> 27")
+            lines.append(f"    v{way} = (v{way} * {_MIX_MULT_2}) & {_MASK64}")
+            lines.append(f"    v{way} ^= v{way} >> 31")
+        terms = ", ".join(
+            f"v{way} % {self._num_sets}" for way in range(self._num_ways)
+        )
+        lines.append(f"    return [{terms}]")
+        namespace: dict = {}
+        exec("\n".join(lines), namespace)  # noqa: S102 - constants only
+        return namespace["_all_indices"]
+
+    def batch_indices(self, addresses: Sequence[int]) -> List[Tuple[int, ...]]:
+        """Vectorized SplitMix64 over ``uint64`` arrays, one pass per way."""
+        if _np is None:
+            return super().batch_indices(addresses)
+        values = _np.asarray(addresses, dtype=_np.uint64)
+        sets = _np.uint64(self._num_sets)
+        mult1 = _np.uint64(_MIX_MULT_1)
+        mult2 = _np.uint64(_MIX_MULT_2)
+        s30, s27, s31 = _np.uint64(30), _np.uint64(27), _np.uint64(31)
+        per_way = []
+        with _np.errstate(over="ignore"):
+            for seed in self._seeds:
+                mixed = values ^ _np.uint64(seed)
+                mixed = mixed ^ (mixed >> s30)
+                mixed = mixed * mult1
+                mixed = mixed ^ (mixed >> s27)
+                mixed = mixed * mult2
+                mixed = mixed ^ (mixed >> s31)
+                per_way.append((mixed % sets).tolist())
+        return list(zip(*per_way))
 
 
 class Sha256HashFamily(HashFamily):

@@ -119,6 +119,35 @@ class Workload(abc.ABC):
         Callers bound it with the simulator's ``max_accesses``.
         """
 
+    def trace_chunks(
+        self, system: SystemConfig, seed: int = 0, chunk_size: int = 4096
+    ) -> Iterator[tuple]:
+        """Yield the same stream as :meth:`trace` in chunked form.
+
+        Each chunk is a tuple of parallel sequences ``(cores, addresses,
+        is_writes, is_instructions)`` consumed by
+        :meth:`~repro.coherence.simulator.TraceSimulator.run_chunks`.  The
+        default implementation batches :meth:`trace`; generators with a
+        vectorisable structure (the synthetic workloads) override it to
+        pregenerate whole chunks without building per-access objects.  The
+        flattened chunk stream is always access-for-access identical to
+        :meth:`trace` for the same ``(system, seed)``.
+        """
+        cores: list = []
+        addresses: list = []
+        writes: list = []
+        instrs: list = []
+        for access in self.trace(system, seed):
+            cores.append(access.core)
+            addresses.append(access.address)
+            writes.append(access.is_write)
+            instrs.append(access.is_instruction)
+            if len(cores) >= chunk_size:
+                yield cores, addresses, writes, instrs
+                cores, addresses, writes, instrs = [], [], [], []
+        if cores:  # finite traces (tests) flush their tail chunk
+            yield cores, addresses, writes, instrs
+
     def recommended_warmup(self, system: SystemConfig) -> int:
         """Accesses needed to warm the tracked caches before measuring.
 

@@ -155,7 +155,20 @@ class SyntheticWorkload(Workload):
         )
 
     # -- trace generation ---------------------------------------------------------
-    def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
+    def trace_chunks(
+        self, system: SystemConfig, seed: int = 0, chunk_size: int = _BATCH
+    ) -> Iterator[tuple]:
+        """Pregenerate whole access chunks with vectorized numpy selection.
+
+        The RNG draw order is exactly that of the original per-access
+        generator (one batch of each draw kind per chunk), so the flattened
+        stream is bit-identical to what :meth:`trace` has always produced;
+        only the per-access Python branching and object construction are
+        gone.  ``chunk_size`` is fixed at the generator's historical batch
+        size to keep the draw boundaries — and therefore the stream —
+        stable.
+        """
+        del chunk_size  # draw-order stability requires the historical batch
         # Derive the stream seed from the workload name with a *stable* hash
         # (Python's built-in hash() is salted per process, which would make
         # traces irreproducible across runs).
@@ -166,6 +179,7 @@ class SyntheticWorkload(Workload):
         private_sampler = ZipfSampler(regions.private_blocks, self.zipf_alpha, rng)
         num_cores = system.num_cores
         block_bytes = regions.block_bytes
+        private_bases = np.asarray(regions.private_bases, dtype=np.int64)
 
         while True:
             cores = rng.integers(0, num_cores, size=_BATCH)
@@ -178,31 +192,41 @@ class SyntheticWorkload(Workload):
             shared_offsets = shared_sampler.sample(_BATCH)
             private_offsets = private_sampler.sample(_BATCH)
 
-            for i in range(_BATCH):
-                core = int(cores[i])
-                if kind_draw[i] < self.instr_fraction:
-                    address = regions.instr_base + int(instr_offsets[i]) * block_bytes
-                    yield MemoryAccess(
-                        core=core,
-                        address=address,
-                        is_write=False,
-                        is_instruction=True,
-                    )
-                    continue
-                if shared_draw[i] < self.shared_data_fraction:
-                    address = regions.shared_base + int(shared_offsets[i]) * block_bytes
-                    is_write = write_draw[i] < self.shared_write_fraction
-                else:
-                    owner = core
-                    if migrate_draw[i] < self.migration_fraction:
-                        owner = int(migrate_target[i])
-                    address = (
-                        regions.private_bases[owner]
-                        + int(private_offsets[i]) * block_bytes
-                    )
-                    is_write = write_draw[i] < self.private_write_fraction
+            is_instr = kind_draw < self.instr_fraction
+            is_shared = ~is_instr & (shared_draw < self.shared_data_fraction)
+            is_private = ~is_instr & ~is_shared
+            owners = np.where(
+                migrate_draw < self.migration_fraction, migrate_target, cores
+            )
+            addresses = np.where(
+                is_instr,
+                regions.instr_base + instr_offsets * block_bytes,
+                np.where(
+                    is_shared,
+                    regions.shared_base + shared_offsets * block_bytes,
+                    private_bases[owners] + private_offsets * block_bytes,
+                ),
+            )
+            writes = (is_shared & (write_draw < self.shared_write_fraction)) | (
+                is_private & (write_draw < self.private_write_fraction)
+            )
+            yield (
+                cores.tolist(),
+                addresses.tolist(),
+                writes.tolist(),
+                is_instr.tolist(),
+            )
+
+    def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
+        for cores, addresses, writes, instrs in self.trace_chunks(system, seed):
+            for core, address, is_write, is_instruction in zip(
+                cores, addresses, writes, instrs
+            ):
                 yield MemoryAccess(
-                    core=core, address=address, is_write=is_write, is_instruction=False
+                    core=core,
+                    address=address,
+                    is_write=is_write,
+                    is_instruction=is_instruction,
                 )
 
 
@@ -228,19 +252,29 @@ class UniformRandomWorkload(Workload):
         self.footprint_blocks = footprint_blocks
         self.write_fraction = write_fraction
 
-    def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
+    def trace_chunks(
+        self, system: SystemConfig, seed: int = 0, chunk_size: int = _BATCH
+    ) -> Iterator[tuple]:
+        del chunk_size  # draw-order stability requires the historical batch
         rng = np.random.default_rng(seed)
         block_bytes = system.block_bytes
         base = 0x4000_0000
         num_cores = system.num_cores
+        no_instrs = [False] * _BATCH
         while True:
             cores = rng.integers(0, num_cores, size=_BATCH)
             offsets = rng.integers(0, self.footprint_blocks, size=_BATCH)
             writes = rng.random(_BATCH) < self.write_fraction
-            for i in range(_BATCH):
+            yield (
+                cores.tolist(),
+                (base + offsets * block_bytes).tolist(),
+                writes.tolist(),
+                no_instrs,
+            )
+
+    def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
+        for cores, addresses, writes, instrs in self.trace_chunks(system, seed):
+            for core, address, is_write in zip(cores, addresses, writes):
                 yield MemoryAccess(
-                    core=int(cores[i]),
-                    address=base + int(offsets[i]) * block_bytes,
-                    is_write=bool(writes[i]),
-                    is_instruction=False,
+                    core=core, address=address, is_write=is_write, is_instruction=False
                 )

@@ -1,0 +1,153 @@
+"""Property tests: bitmask sharer encodings vs a plain-``set`` reference.
+
+The bitmask rewrite must be observationally identical to the original
+set-backed implementation.  For each of the four encodings we drive random
+add/remove/clear sequences against a reference model that tracks the true
+members in a plain set and derives each encoding's invalidation semantics
+independently, then assert after every operation that
+
+* ``sharers()`` matches the reference encoding exactly,
+* the reported invalidation targets are a superset of the true members,
+* counts, membership, emptiness, iteration order and storage width agree.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.directories.sharers import (
+    CoarseVector,
+    FullBitVector,
+    HierarchicalVector,
+    LimitedPointer,
+)
+
+NUM_CACHES = 16
+
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["add", "remove", "clear"]),
+        st.integers(0, NUM_CACHES - 1),
+    ),
+    max_size=80,
+)
+
+
+def _reference_coarse(members, num_pointers, region_size, num_caches):
+    if len(members) <= num_pointers:
+        return frozenset(members)
+    covered = set()
+    for cache_id in members:
+        start = (cache_id // region_size) * region_size
+        covered.update(range(start, min(start + region_size, num_caches)))
+    return frozenset(covered)
+
+
+def _reference_limited(members, num_pointers, num_caches):
+    if len(members) > num_pointers:
+        return frozenset(range(num_caches))
+    return frozenset(members)
+
+
+def _apply(model, reference, op, cache_id):
+    if op == "add":
+        model.add(cache_id)
+        reference.add(cache_id)
+    elif op == "remove":
+        model.remove(cache_id)
+        reference.discard(cache_id)
+    else:
+        model.clear()
+        reference.clear()
+
+
+def _check_common(model, reference):
+    assert model.count() == len(reference)
+    assert len(model) == len(reference)
+    assert model.is_empty() == (not reference)
+    assert model.exact_sharers() == frozenset(reference)
+    assert list(model) == sorted(reference)
+    assert model.member_mask() == sum(1 << c for c in reference)
+    for cache_id in range(NUM_CACHES):
+        assert model.contains(cache_id) == (cache_id in reference)
+    # Invalidation fan-out never omits a true sharer.
+    assert frozenset(reference) <= model.sharers()
+
+
+@given(ops=operations)
+@settings(max_examples=150, deadline=None)
+def test_full_bit_vector_matches_reference(ops):
+    model = FullBitVector(NUM_CACHES)
+    reference = set()
+    for op, cache_id in ops:
+        _apply(model, reference, op, cache_id)
+        _check_common(model, reference)
+        assert model.sharers() == frozenset(reference)
+        assert model.as_bits() == [
+            1 if c in reference else 0 for c in range(NUM_CACHES)
+        ]
+    assert FullBitVector.storage_bits(NUM_CACHES) == NUM_CACHES
+
+
+@given(ops=operations, num_pointers=st.integers(1, 4))
+@settings(max_examples=150, deadline=None)
+def test_coarse_vector_matches_reference(ops, num_pointers):
+    model = CoarseVector(NUM_CACHES, num_pointers=num_pointers)
+    reference = set()
+    for op, cache_id in ops:
+        _apply(model, reference, op, cache_id)
+        _check_common(model, reference)
+        expected = _reference_coarse(
+            reference, num_pointers, model.region_size, NUM_CACHES
+        )
+        assert model.sharers() == expected
+        assert model.is_coarse == (len(reference) > num_pointers)
+    assert CoarseVector.storage_bits(NUM_CACHES, num_pointers=num_pointers) == (
+        num_pointers * max(1, math.ceil(math.log2(NUM_CACHES)))
+    )
+
+
+@given(ops=operations, num_pointers=st.integers(1, 4))
+@settings(max_examples=150, deadline=None)
+def test_limited_pointer_matches_reference(ops, num_pointers):
+    model = LimitedPointer(NUM_CACHES, num_pointers=num_pointers)
+    reference = set()
+    for op, cache_id in ops:
+        _apply(model, reference, op, cache_id)
+        _check_common(model, reference)
+        assert model.sharers() == _reference_limited(
+            reference, num_pointers, NUM_CACHES
+        )
+        assert model.is_broadcast == (len(reference) > num_pointers)
+    assert LimitedPointer.storage_bits(NUM_CACHES, num_pointers=num_pointers) == (
+        1 + num_pointers * max(1, math.ceil(math.log2(NUM_CACHES)))
+    )
+
+
+@given(ops=operations, num_groups=st.integers(1, NUM_CACHES))
+@settings(max_examples=150, deadline=None)
+def test_hierarchical_vector_matches_reference(ops, num_groups):
+    model = HierarchicalVector(NUM_CACHES, num_groups=num_groups)
+    reference = set()
+    for op, cache_id in ops:
+        _apply(model, reference, op, cache_id)
+        _check_common(model, reference)
+        assert model.sharers() == frozenset(reference)
+        assert model.groups_in_use() == frozenset(
+            c // model.group_size for c in reference
+        )
+
+
+@pytest.mark.parametrize(
+    "cls", [FullBitVector, CoarseVector, LimitedPointer, HierarchicalVector]
+)
+def test_storage_width_is_stable_under_mutation(cls):
+    """storage_bits is a class property; instances never change the width."""
+    width = cls.storage_bits(NUM_CACHES)
+    model = cls(NUM_CACHES)
+    for cache_id in range(NUM_CACHES):
+        model.add(cache_id)
+        assert cls.storage_bits(NUM_CACHES) == width
+    model.clear()
+    assert cls.storage_bits(NUM_CACHES) == width

@@ -1,0 +1,80 @@
+"""Golden-equivalence test for the allocation-free hot-path rewrite.
+
+``golden/hot_path_golden.json`` pins the exact statistics the *pre-rewrite*
+simulator produced for a small Figure 10 and Figure 12 configuration
+(Oracle and em3d on the chosen Cuckoo designs, plus Oracle against the
+Sparse 2x/8x and Skewed 2x baselines, both tracked levels).  The bitmask
+sharer sets, flat-array cuckoo table, batched hashing and chunked trace
+generation must reproduce every pinned number *bit-identically* —
+attempt histograms, insertion and invalidation counts, hit rates,
+occupancies and message totals — because the rewrite changes data layout,
+not semantics.
+
+If a future change legitimately alters simulation semantics, bump
+``repro.engine.spec.SPEC_VERSION`` and regenerate this file with
+``python tests/experiments/test_hot_path_golden.py regenerate``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.execute import execute_spec
+from repro.engine.spec import RunSpec
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "hot_path_golden.json"
+
+
+def _load_golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+GOLDEN = _load_golden()
+
+
+def _labels():
+    return [RunSpec.from_dict(entry["spec"]).label() for entry in GOLDEN["results"]]
+
+
+@pytest.mark.parametrize(
+    "expected", GOLDEN["results"], ids=_labels()
+)
+def test_hot_path_reproduces_pinned_results_exactly(expected):
+    spec = RunSpec.from_dict(expected["spec"])
+    actual = execute_spec(spec).to_dict()
+    actual.pop("elapsed_seconds")
+    # Every statistic must match exactly — including the full attempt
+    # histogram (Figure 11's distribution) and the forced-invalidation
+    # counts (Figure 12's metric).  Floats compare with == on purpose:
+    # the rewrite must not change a single arithmetic step.
+    for key, value in expected.items():
+        assert actual[key] == value, f"{spec.label()}: {key} diverged"
+
+
+def test_golden_covers_both_figures_and_all_organizations():
+    specs = [RunSpec.from_dict(entry["spec"]) for entry in GOLDEN["results"]]
+    organizations = {spec.organization for spec in specs}
+    levels = {spec.tracked_level for spec in specs}
+    workloads = {spec.workload for spec in specs}
+    assert organizations == {"cuckoo", "sparse", "skewed"}
+    assert levels == {"L1", "L2"}
+    assert {"Oracle", "em3d"} <= workloads
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    results = []
+    for entry in GOLDEN["results"]:
+        spec = RunSpec.from_dict(entry["spec"])
+        data = execute_spec(spec).to_dict()
+        data.pop("elapsed_seconds")
+        results.append(data)
+    GOLDEN["results"] = results
+    GOLDEN_PATH.write_text(json.dumps(GOLDEN, indent=1, sort_keys=True))
+    print(f"regenerated {GOLDEN_PATH}")
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv:  # pragma: no cover
+    _regenerate()
