@@ -164,6 +164,131 @@ class TraceSimulator:
 
         return self._build_result(measured, occupancy_samples)
 
+    def run_sampled(
+        self,
+        chunks: Iterable[TraceChunk],
+        measure_window: int,
+        skip_window: int,
+        max_windows: Optional[int] = None,
+    ) -> Tuple[SimulationResult, int]:
+        """SMARTS-style systematic sampling over a chunked trace.
+
+        The stream is consumed as alternating windows: ``skip_window``
+        accesses executed for state only (caches, directories and the page
+        mapper all advance, but statistics are discarded), then
+        ``measure_window`` accesses measured.  Statistics from all measured
+        windows are merged, so the returned
+        :class:`SimulationResult` covers *only* the measured windows —
+        every skipped access doubles as functional warming for the window
+        that follows it, which is what makes sparse sampling of a long
+        trace representative.
+
+        The constructor's ``warmup_accesses`` is not applied here (each
+        window brings its own warming); windows end when ``max_windows``
+        is reached or the trace runs dry.  A partially measured final
+        window is discarded.  Returns ``(result, windows_measured)``.
+        """
+        if measure_window <= 0:
+            raise ValueError("measure_window must be positive")
+        if skip_window < 0:
+            raise ValueError("skip_window must be non-negative")
+        if max_windows is not None and max_windows <= 0:
+            raise ValueError("max_windows must be positive")
+        system = self._system
+        access_scalar = system.access_scalar
+        interval = self._sample_interval
+
+        merged = None  # DirectoryStats of all measured windows
+        per_slice: Optional[List] = None
+        traffic = TrafficStats()
+        hits = 0
+        cache_accesses = 0
+        measured_total = 0
+        windows = 0
+        occupancy_samples: List[float] = []
+
+        measuring = skip_window == 0
+        remaining = measure_window if measuring else skip_window
+        if measuring:
+            system.reset_stats()
+        until_sample = interval
+        window_samples: List[float] = []
+        done = False
+
+        for chunk_cores, chunk_addresses, chunk_writes, chunk_instrs in chunks:
+            for core, address, is_write, is_instruction in zip(
+                chunk_cores, chunk_addresses, chunk_writes, chunk_instrs
+            ):
+                access_scalar(core, address, is_write, is_instruction)
+                if measuring:
+                    until_sample -= 1
+                    if until_sample == 0:
+                        window_samples.append(system.sample_occupancy())
+                        until_sample = interval
+                remaining -= 1
+                if remaining == 0:
+                    if measuring:
+                        # Window complete: fold its statistics into the totals.
+                        window_stats = system.directory_stats()
+                        merged = (
+                            window_stats if merged is None else merged.merge(window_stats)
+                        )
+                        # Snapshot (merge into a fresh object), never alias the
+                        # live stats: the next skip window keeps mutating them.
+                        slices = [
+                            DirectoryStats().merge(d.stats) for d in system.directories
+                        ]
+                        if per_slice is None:
+                            per_slice = slices
+                        else:
+                            per_slice = [
+                                acc.merge(cur) for acc, cur in zip(per_slice, slices)
+                            ]
+                        traffic = traffic.merge(system.traffic)
+                        hits += sum(c.stats.hits for c in system.tracked_caches)
+                        cache_accesses += sum(
+                            c.stats.accesses for c in system.tracked_caches
+                        )
+                        if not window_samples:
+                            window_samples.append(system.sample_occupancy())
+                        occupancy_samples.extend(window_samples)
+                        window_samples = []
+                        measured_total += measure_window
+                        windows += 1
+                        if max_windows is not None and windows >= max_windows:
+                            done = True
+                            break
+                        measuring = skip_window == 0
+                        remaining = skip_window if skip_window else measure_window
+                        if measuring:
+                            system.reset_stats()
+                            until_sample = interval
+                    else:
+                        measuring = True
+                        remaining = measure_window
+                        system.reset_stats()
+                        until_sample = interval
+            if done:
+                break
+
+        hit_rate = hits / cache_accesses if cache_accesses else 0.0
+        average_occupancy = (
+            sum(occupancy_samples) / len(occupancy_samples) if occupancy_samples else 0.0
+        )
+        if merged is None:
+            merged = DirectoryStats()
+            per_slice = [DirectoryStats() for _ in system.directories]
+        result = SimulationResult(
+            accesses=measured_total,
+            directory_stats=merged,
+            per_slice_stats=list(per_slice or []),
+            traffic=traffic,
+            cache_hit_rate=hit_rate,
+            average_occupancy=average_occupancy,
+            occupancy_samples=occupancy_samples,
+        )
+        return result, windows
+
     def _build_result(
         self, measured: int, occupancy_samples: List[float]
     ) -> SimulationResult:

@@ -1,7 +1,7 @@
 """Unified command line for the experiment engine.
 
 Installed as the ``repro-run`` console script and runnable as
-``python -m repro.engine``.  Four subcommands:
+``python -m repro.engine``.  Six subcommands:
 
 ``list``
     The available experiments and whether they are simulation-based.
@@ -13,6 +13,14 @@ Installed as the ``repro-run`` console script and runnable as
 ``sweep``
     An ad-hoc cartesian sweep over workloads, configurations, directory
     organizations, ways, provisioning factors and seeds.
+``trace``
+    The trace subsystem: ``record`` a workload's stream to a compact
+    ``.npz`` trace file, show a recording's ``info``, or ``replay`` a
+    recording through the engine (optionally with SMARTS-style systematic
+    sampling).
+``mix``
+    Run multi-programmed mix scenarios ("8xApache+8xocean") through the
+    engine, sweeping configurations and directory organizations.
 ``cache``
     Inspect, compact or clear the content-addressed result store.
 
@@ -25,8 +33,14 @@ Examples
     repro-run run all --quiet
     repro-run sweep --workloads Oracle,ocean --organizations cuckoo,sparse \
         --ways 4 --provisionings 0.5,1.0,2.0 --scale 64
+    repro-run trace record Oracle --out traces/oracle.npz --scale 16
+    repro-run trace info traces/oracle.npz --verify
+    repro-run trace replay traces/oracle.npz
+    repro-run trace replay traces/oracle.npz --sample-measure 1000 --sample-skip 9000
+    repro-run mix 8xApache+8xocean 8xOracle+8xQry17 --scale 32
     repro-run cache
-    repro-run cache --clear
+    repro-run cache compact
+    repro-run cache clear
 """
 
 from __future__ import annotations
@@ -175,15 +189,114 @@ def build_parser() -> argparse.ArgumentParser:
     _add_sweep_options(sweep_parser)
     _add_engine_options(sweep_parser)
 
+    trace_parser = subparsers.add_parser(
+        "trace", help="record, inspect and replay workload traces"
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+
+    record_parser = trace_subparsers.add_parser(
+        "record", help="record a workload's access stream to a trace file"
+    )
+    record_parser.add_argument("workload", help="Table 2 workload name")
+    record_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="output trace path (default traces/<workload>-c<cores>-s<scale>-seed<seed>.npz)",
+    )
+    record_parser.add_argument(
+        "--accesses", type=int, default=None,
+        help="accesses to record (default: recommended warm-up + --measure-accesses)",
+    )
+    record_parser.add_argument(
+        "--tracked-level", default="L1", choices=("L1", "L2"),
+        help="system configuration the default recording length is sized for",
+    )
+    record_parser.add_argument("--num-cores", type=int, default=16)
+    record_parser.add_argument(
+        "--scale", type=int, default=None,
+        help=f"cache-capacity scale factor (default {DEFAULT_SCALE})",
+    )
+    record_parser.add_argument(
+        "--measure-accesses", type=int, default=None,
+        help=f"measurement window the recording must cover (default {DEFAULT_MEASURE_ACCESSES})",
+    )
+    record_parser.add_argument("--seed", type=int, default=0)
+
+    info_parser = trace_subparsers.add_parser(
+        "info", help="show a trace file's header"
+    )
+    info_parser.add_argument("path", help="trace file")
+    info_parser.add_argument(
+        "--verify", action="store_true",
+        help="recompute the content fingerprint over the whole file",
+    )
+
+    replay_parser = trace_subparsers.add_parser(
+        "replay", help="replay a recorded trace through the engine"
+    )
+    replay_parser.add_argument("path", help="trace file")
+    replay_parser.add_argument(
+        "--tracked-level", default="L1", choices=("L1", "L2"),
+        help="system configuration to replay against (default L1)",
+    )
+    replay_parser.add_argument(
+        "--organization", default="cuckoo", choices=ORGANIZATIONS
+    )
+    replay_parser.add_argument("--ways", type=int, default=4)
+    replay_parser.add_argument("--provisioning", type=float, default=1.0)
+    replay_parser.add_argument(
+        "--measure-accesses", type=int, default=None,
+        help="measured accesses (default: all the trace holds beyond warm-up)",
+    )
+    replay_parser.add_argument(
+        "--sample-measure", type=int, default=None, metavar="N",
+        help="SMARTS sampling: accesses measured per window (bypasses the store)",
+    )
+    replay_parser.add_argument(
+        "--sample-skip", type=int, default=0, metavar="N",
+        help="SMARTS sampling: unmeasured warming accesses before each window",
+    )
+    replay_parser.add_argument(
+        "--sample-windows", type=int, default=None, metavar="K",
+        help="SMARTS sampling: maximum measured windows (default: trace length)",
+    )
+    _add_engine_options(replay_parser)
+
+    mix_parser = subparsers.add_parser(
+        "mix", help="run multi-programmed mix scenarios through the engine"
+    )
+    mix_parser.add_argument(
+        "mixes", nargs="+", metavar="MIX",
+        help="mix specs like 8xApache+8xocean (cores x workload, '+'-separated)",
+    )
+    mix_parser.add_argument(
+        "--tracked-levels", type=_csv, default=["L1", "L2"], metavar="L1,L2"
+    )
+    mix_parser.add_argument(
+        "--organizations", type=_csv, default=["cuckoo"],
+        metavar=",".join(ORGANIZATIONS),
+    )
+    mix_parser.add_argument("--ways", type=_csv_int, default=[4], metavar="N,...")
+    mix_parser.add_argument(
+        "--provisionings", type=_csv_float, default=[1.0], metavar="F,..."
+    )
+    mix_parser.add_argument("--seeds", type=_csv_int, default=[0], metavar="N,...")
+    mix_parser.add_argument("--scale", type=int, default=None)
+    mix_parser.add_argument("--measure-accesses", type=int, default=None)
+    _add_engine_options(mix_parser)
+
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear the result store"
+        "cache", help="inspect, compact or clear the result store"
+    )
+    cache_parser.add_argument(
+        "action", nargs="?", default="show", choices=("show", "clear", "compact"),
+        help="what to do with the store (default: show)",
     )
     cache_parser.add_argument("--store", default=None, metavar="PATH")
     cache_parser.add_argument(
-        "--clear", action="store_true", help="delete every cached result"
+        "--clear", action="store_true", help="same as the 'clear' action"
     )
     cache_parser.add_argument(
-        "--compact", action="store_true", help="drop superseded records on disk"
+        "--compact", action="store_true", help="same as the 'compact' action"
     )
     return parser
 
@@ -201,6 +314,21 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
             print(f"  [{done}/{total}] {event:9s} {spec.label()}", file=sys.stderr)
 
     return ParallelRunner(workers=workers, store=store, progress=progress)
+
+
+def _unknown_workloads_message(names: Optional[Sequence[str]]) -> Optional[str]:
+    """Friendly error for unknown Table 2 workload names (None when fine)."""
+    if not names:
+        return None
+    from repro.workloads.suite import WORKLOAD_NAMES
+
+    unknown = [name for name in names if name not in WORKLOAD_NAMES]
+    if not unknown:
+        return None
+    return (
+        f"unknown workload(s): {', '.join(unknown)} "
+        f"(expected: {', '.join(WORKLOAD_NAMES)})"
+    )
 
 
 def _cmd_list() -> int:
@@ -269,6 +397,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    workload_error = _unknown_workloads_message(args.workloads)
+    if workload_error:
+        print(workload_error, file=sys.stderr)
+        return 2
 
     if args.profile:
         return _cmd_profile(names, args)
@@ -333,6 +465,10 @@ def _sweep_table(specs: Sequence[RunSpec], report) -> str:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.workloads.suite import WORKLOAD_NAMES
 
+    workload_error = _unknown_workloads_message(args.workloads)
+    if workload_error:
+        print(workload_error, file=sys.stderr)
+        return 2
     workloads = args.workloads if args.workloads is not None else list(WORKLOAD_NAMES)
     try:
         grid = RunGrid.product(
@@ -373,16 +509,269 @@ def _print_engine_summary(runner: ParallelRunner, report=None) -> None:
         print(f"engine: {'; '.join(parts)}", file=sys.stderr)
 
 
+def _cmd_trace_record(args: argparse.Namespace) -> int:
+    from repro.config import CacheLevel
+    from repro.experiments.common import scaled_system
+    from repro.traces import TraceRecorder, accesses_for_run
+    from repro.workloads.suite import get_workload
+
+    workload_error = _unknown_workloads_message([args.workload])
+    if workload_error:
+        print(workload_error, file=sys.stderr)
+        return 2
+    workload = get_workload(args.workload)
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
+    system = scaled_system(
+        CacheLevel(args.tracked_level), num_cores=args.num_cores, scale=scale
+    )
+    accesses = args.accesses
+    if accesses is None:
+        measure = (
+            args.measure_accesses
+            if args.measure_accesses is not None
+            else DEFAULT_MEASURE_ACCESSES
+        )
+        accesses = accesses_for_run(workload, system, measure)
+    out = args.out
+    if out is None:
+        out = (
+            f"traces/{args.workload}-c{args.num_cores}-s{scale}-seed{args.seed}.npz"
+        )
+    header = TraceRecorder().record(
+        workload, system, out, accesses, seed=args.seed, scale=scale
+    )
+    from pathlib import Path
+
+    size = Path(out).stat().st_size
+    print(f"recorded {out} ({size} bytes)")
+    print(header.describe())
+    return 0
+
+
+def _cmd_trace_info(args: argparse.Namespace) -> int:
+    from repro.traces import TraceFile
+
+    try:
+        trace = TraceFile(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    size = trace.path.stat().st_size
+    print(f"path:         {trace.path} ({size} bytes)")
+    print(trace.header.describe())
+    print(f"memory-mapped: {'yes' if trace.mapped else 'no (compressed members)'}")
+    if args.verify:
+        if trace.verify():
+            print("fingerprint:  OK")
+        else:
+            print("fingerprint:  MISMATCH — file corrupt or tampered", file=sys.stderr)
+            return 1
+    return 0
+
+
+def _cmd_trace_replay(args: argparse.Namespace) -> int:
+    from repro.traces import TraceFile
+
+    try:
+        trace = TraceFile(args.path)
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    header = trace.header
+
+    if args.sample_measure is not None:
+        if args.measure_accesses is not None:
+            print(
+                "--measure-accesses does not apply to sampled replays; "
+                "bound the run with --sample-windows instead",
+                file=sys.stderr,
+            )
+            return 2
+        return _replay_sampled(args, trace)
+    if args.sample_skip or args.sample_windows is not None:
+        print(
+            "--sample-skip/--sample-windows need --sample-measure; "
+            "refusing to run an unsampled replay instead",
+            file=sys.stderr,
+        )
+        return 2
+
+    from repro.config import CacheLevel
+    from repro.experiments.common import scaled_system
+    from repro.traces import TraceReplayWorkload
+
+    # The recorded stream is scale-specific, so the replay system always
+    # uses the recording's scale (scale-less API recordings get the default).
+    scale = header.scale if header.scale is not None else DEFAULT_SCALE
+    measure = args.measure_accesses
+    if measure is None:
+        system = scaled_system(
+            CacheLevel(args.tracked_level), num_cores=header.num_cores, scale=scale
+        )
+        warmup = TraceReplayWorkload(trace).recommended_warmup(system)
+        measure = header.num_accesses - warmup
+        if measure <= 0:
+            print(
+                f"trace holds {header.num_accesses} accesses, all consumed by the "
+                f"{warmup}-access warm-up; record a longer trace or pass "
+                f"--measure-accesses",
+                file=sys.stderr,
+            )
+            return 2
+    spec = RunSpec(
+        workload=header.workload,
+        tracked_level=args.tracked_level,
+        organization=args.organization,
+        ways=args.ways,
+        provisioning=args.provisioning,
+        num_cores=header.num_cores,
+        scale=scale,
+        seed=header.seed,
+        measure_accesses=measure,
+        trace=str(trace.path),
+        trace_fingerprint=header.fingerprint,
+    )
+    runner = _make_runner(args)
+    report = runner.run([spec])
+    print(_sweep_table([spec], report))
+    _print_engine_summary(runner, report)
+    return 0 if report.ok else 1
+
+
+def _replay_sampled(args: argparse.Namespace, trace: "object") -> int:
+    """``trace replay --sample-measure``: direct sampled run, no store."""
+    from repro.analysis.tables import format_percentage, render_table
+    from repro.config import CacheLevel
+    from repro.engine.execute import directory_factory_for_spec
+    from repro.experiments.common import scaled_system
+    from repro.traces import SampledTrace, TraceReplayWorkload
+
+    header = trace.header
+    scale = header.scale if header.scale is not None else DEFAULT_SCALE
+    system = scaled_system(
+        CacheLevel(args.tracked_level), num_cores=header.num_cores, scale=scale
+    )
+    spec = RunSpec(
+        workload=header.workload,
+        tracked_level=args.tracked_level,
+        organization=args.organization,
+        ways=args.ways,
+        provisioning=args.provisioning,
+        num_cores=header.num_cores,
+        scale=scale,
+        seed=header.seed,
+    )
+    factory = directory_factory_for_spec(spec, system)
+    sampled = SampledTrace(
+        TraceReplayWorkload(trace),
+        measure_window=args.sample_measure,
+        skip_window=args.sample_skip,
+        max_windows=args.sample_windows,
+    ).run(
+        system,
+        factory,
+        seed=header.seed,
+        occupancy_sample_interval=spec.occupancy_sample_interval,
+    )
+    result = sampled.result
+    rows = [
+        ["Windows measured", sampled.windows],
+        ["Accesses measured", result.accesses],
+        ["Sampled fraction", format_percentage(sampled.sampled_fraction, digits=1)],
+        ["Avg insertion attempts", f"{result.average_insertion_attempts:.3f}"],
+        ["Forced invalidation rate",
+         format_percentage(result.forced_invalidation_rate, digits=3)],
+        ["Avg occupancy (vs capacity)",
+         format_percentage(result.average_occupancy, digits=1)],
+        ["Cache hit rate", format_percentage(result.cache_hit_rate, digits=1)],
+    ]
+    print(
+        render_table(
+            ["Metric", "Value"], rows,
+            title=f"Sampled replay of {header.workload} "
+            f"({args.sample_measure} measure / {args.sample_skip} skip)",
+        )
+    )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "record":
+        return _cmd_trace_record(args)
+    if args.trace_command == "info":
+        return _cmd_trace_info(args)
+    if args.trace_command == "replay":
+        return _cmd_trace_replay(args)
+    raise AssertionError(f"unhandled trace command {args.trace_command!r}")
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    from repro.traces import parse_mix
+
+    totals = {}
+    fingerprints = {}
+    for mix_spec in args.mixes:
+        try:
+            mix = parse_mix(mix_spec)
+        except (ValueError, FileNotFoundError) as exc:
+            print(f"invalid mix {mix_spec!r}: {exc}", file=sys.stderr)
+            return 2
+        totals[mix_spec] = mix.total_cores
+        fingerprints[mix_spec] = mix.trace_fingerprint()
+    try:
+        grid = RunGrid(
+            RunSpec(
+                workload=mix_spec,
+                mix=mix_spec,
+                trace_fingerprint=fingerprints[mix_spec],
+                num_cores=totals[mix_spec],
+                tracked_level=level,
+                organization=organization,
+                ways=ways,
+                provisioning=provisioning,
+                seed=seed,
+                scale=args.scale if args.scale is not None else DEFAULT_SCALE,
+                measure_accesses=(
+                    args.measure_accesses
+                    if args.measure_accesses is not None
+                    else DEFAULT_MEASURE_ACCESSES
+                ),
+            )
+            for mix_spec in args.mixes
+            for level in args.tracked_levels
+            for organization in args.organizations
+            for ways in args.ways
+            for provisioning in args.provisionings
+            for seed in args.seeds
+        )
+    except (TypeError, ValueError) as exc:
+        print(f"invalid mix sweep: {exc}", file=sys.stderr)
+        return 2
+    runner = _make_runner(args)
+    report = runner.run(grid)
+    print(_sweep_table(grid.specs, report))
+    _print_engine_summary(runner, report)
+    return 0 if report.ok else 1
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
+    flag_action = "clear" if args.clear else ("compact" if args.compact else None)
+    if flag_action and args.action != "show" and flag_action != args.action:
+        print(
+            f"conflicting cache requests: action {args.action!r} vs --{flag_action}",
+            file=sys.stderr,
+        )
+        return 2
     store = ResultStore(args.store) if args.store else ResultStore()
-    if args.clear:
+    action = flag_action or args.action
+    if action == "clear":
         entries = len(store)
         store.clear()
         print(f"cleared {entries} cached results from {store.path}")
         return 0
-    if args.compact:
-        store.compact()
-        print(f"compacted {store.path} to {len(store)} records")
+    if action == "compact":
+        report = store.compact()
+        print(f"compacted {store.path}: {report}")
         return 0
     size = store.path.stat().st_size if store.path.exists() else 0
     print(f"store:   {store.path}")
@@ -399,6 +788,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "mix":
+        return _cmd_mix(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

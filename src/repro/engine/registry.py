@@ -30,6 +30,7 @@ from repro.experiments import (
     fig11_worst_case,
     fig12_invalidations,
     fig13_power_area,
+    mix_occupancy,
 )
 
 __all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "run_experiment"]
@@ -116,6 +117,15 @@ def _experiments() -> Dict[str, Experiment]:
             simulated=False,
             run=fig13_power_area.run,
             format_table=fig13_power_area.format_table,
+        ),
+        Experiment(
+            name="mix",
+            title="Multi-programmed mixes — occupancy/invalidations per two-program mix",
+            simulated=True,
+            run=mix_occupancy.run,
+            format_table=mix_occupancy.format_table,
+            options=sim_options,
+            grid=mix_occupancy.grid,
         ),
         Experiment(
             name="ablation-hash",

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import re
 from dataclasses import asdict, dataclass, fields
 from itertools import product
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -34,7 +35,8 @@ __all__ = [
 
 #: Version salt mixed into every spec key.  Bump whenever the simulator's
 #: semantics change so that previously cached results are not reused.
-SPEC_VERSION = 1
+#: v2: trace/mix fields (the trace subsystem).
+SPEC_VERSION = 2
 
 #: Default cache-capacity scale factor for experiments (16x smaller caches).
 DEFAULT_SCALE = 16
@@ -57,6 +59,26 @@ class RunSpec:
     here: validation happens at execution time so that a bad point in a grid
     surfaces as an isolated :class:`~repro.engine.results.RunFailure` instead
     of aborting grid construction.
+
+    ``trace`` and ``mix`` (mutually exclusive) route the point through the
+    trace subsystem instead of live suite generation:
+
+    * ``trace`` names a recorded trace file
+      (:class:`~repro.traces.replay.TraceReplayWorkload` replays it; the
+      file's header must agree with ``workload``/``seed``/``num_cores``);
+    * ``mix`` is a multi-programmed mix spec such as ``"8xApache+8xocean"``
+      (:func:`repro.traces.mix.parse_mix`); component core counts must sum
+      to ``num_cores``.  By convention ``workload`` carries the same string
+      for labelling.
+
+    ``trace_fingerprint`` pins the *contents* of the recording(s) a
+    trace/mix point consumes (the trace header fingerprint, or the
+    combined :meth:`~repro.traces.mix.MixWorkload.trace_fingerprint` of a
+    mix's ``@file`` components).  It is part of the content hash and is
+    validated at execution, so re-recording a file at the same path
+    changes the key instead of silently serving a stale cached result.
+    The CLI populates it automatically; specs built by hand may leave it
+    ``None`` to key on the path alone.
     """
 
     workload: str
@@ -71,6 +93,9 @@ class RunSpec:
     warmup_accesses: Optional[int] = None
     occupancy_sample_interval: int = 2_000
     hash_family: Optional[str] = None
+    trace: Optional[str] = None
+    mix: Optional[str] = None
+    trace_fingerprint: Optional[str] = None
 
     def __post_init__(self) -> None:
         # Accept CacheLevel enum members and normalise numeric types so that
@@ -111,6 +136,17 @@ class RunSpec:
             raise ValueError("warmup_accesses must be non-negative")
         if self.occupancy_sample_interval <= 0:
             raise ValueError("occupancy_sample_interval must be positive")
+        if self.trace is not None and self.mix is not None:
+            raise ValueError("trace and mix are mutually exclusive")
+        if self.trace_fingerprint is not None and self.trace is None and self.mix is None:
+            raise ValueError("trace_fingerprint requires a trace or mix field")
+        if self.mix is not None:
+            for part in self.mix.split("+"):
+                if not re.match(r"^\d+x\S+$", part.strip()):
+                    raise ValueError(
+                        f"bad mix component {part.strip()!r} in {self.mix!r} "
+                        f"(expected '<cores>x<workload>', e.g. '8xApache+8xocean')"
+                    )
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -141,10 +177,15 @@ class RunSpec:
     def label(self) -> str:
         """Short human-readable description (progress reporting, CLI)."""
         family = f", {self.hash_family}" if self.hash_family else ""
+        source = ""
+        if self.trace is not None:
+            source = " [trace]"
+        elif self.mix is not None:
+            source = " [mix]"
         return (
             f"{self.workload}/{self.tracked_level} "
             f"{self.organization} {self.ways}w x{self.provisioning:g}{family} "
-            f"(scale={self.scale}, seed={self.seed})"
+            f"(scale={self.scale}, seed={self.seed}){source}"
         )
 
 

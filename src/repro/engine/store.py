@@ -14,16 +14,37 @@ from __future__ import annotations
 
 import json
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Union
 
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
 
-__all__ = ["ResultStore", "default_store_path"]
+__all__ = ["CompactionReport", "ResultStore", "default_store_path"]
 
 #: Environment variable overriding the default on-disk store location.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """What one :meth:`ResultStore.compact` pass recovered."""
+
+    entries_kept: int
+    lines_removed: int
+    bytes_before: int
+    bytes_after: int
+
+    @property
+    def bytes_saved(self) -> int:
+        return max(0, self.bytes_before - self.bytes_after)
+
+    def __str__(self) -> str:
+        return (
+            f"kept {self.entries_kept} entries, removed {self.lines_removed} "
+            f"superseded records, saved {self.bytes_saved} bytes"
+        )
 
 
 def default_store_path() -> Path:
@@ -106,18 +127,42 @@ class ResultStore:
         if self._path.exists():
             self._path.unlink()
 
-    def compact(self) -> None:
-        """Rewrite the file with one line per live key (drops superseded lines)."""
+    def compact(self) -> "CompactionReport":
+        """Rewrite the file with one line per live key (drops superseded lines).
+
+        The store is append-only, so re-running a point (or bumping
+        :data:`~repro.engine.spec.SPEC_VERSION` semantics under the same
+        key) leaves superseded duplicate lines behind; compaction rewrites
+        the file keeping only the last record per key and reports how many
+        lines and bytes that recovered.
+        """
+        bytes_before = self._path.stat().st_size if self._path.exists() else 0
+        lines_before = 0
+        if self._path.exists():
+            with self._path.open("r", encoding="utf-8") as handle:
+                lines_before = sum(1 for line in handle if line.strip())
         if not self._records:
             if self._path.exists():
                 self._path.unlink()
-            return
+            return CompactionReport(
+                entries_kept=0,
+                lines_removed=lines_before,
+                bytes_before=bytes_before,
+                bytes_after=0,
+            )
         self._path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self._path.with_suffix(".tmp")
         with tmp.open("w", encoding="utf-8") as handle:
             for key, record in self._records.items():
                 handle.write(json.dumps({"key": key, "result": record}) + "\n")
         tmp.replace(self._path)
+        bytes_after = self._path.stat().st_size
+        return CompactionReport(
+            entries_kept=len(self._records),
+            lines_removed=lines_before - len(self._records),
+            bytes_before=bytes_before,
+            bytes_after=bytes_after,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self._path)!r}, entries={len(self._records)})"

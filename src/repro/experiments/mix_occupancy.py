@@ -1,0 +1,156 @@
+"""Multi-programmed mix sweep — occupancy and forced invalidations.
+
+A scenario class the paper could not explore: its Flexus traces are
+single-application, so every figure assumes all 16 cores run one program.
+Consolidated servers instead co-schedule programs on disjoint core groups,
+which changes what the directory sees — a mostly-private program (ocean)
+sharing a tile with a heavily-shared one (Apache) contributes most of the
+live directory entries, while the server program contributes most of the
+write-upgrade and invalidation activity.
+
+This driver sweeps the chosen Cuckoo design over a matrix of two-program
+mixes (every unordered pair drawn from a program pool, each program on
+half the cores, via :class:`~repro.traces.mix.MixWorkload`) on both system
+configurations, and reports directory occupancy (vs. the 1x worst case)
+and the forced-invalidation rate per mix.  Single-program baselines ride
+along so each mix can be read against its constituents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.tables import format_percentage, render_table
+from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
+from repro.experiments import common
+
+__all__ = ["MixOccupancyResult", "DEFAULT_PROGRAMS", "mixes_for", "run", "grid", "format_table"]
+
+#: Default program pool: two server workloads with large shared footprints
+#: and two with dominantly private footprints, so the pair matrix spans the
+#: sharing spectrum.
+DEFAULT_PROGRAMS = ("Apache", "Oracle", "Qry17", "ocean")
+
+
+def mixes_for(programs: Sequence[str], num_cores: int = 16) -> List[str]:
+    """Every unordered pair of ``programs``, each on half the cores."""
+    if num_cores % 2 != 0:
+        raise ValueError("num_cores must be even to split across two programs")
+    half = num_cores // 2
+    return [f"{half}x{a}+{half}x{b}" for a, b in combinations(programs, 2)]
+
+
+@dataclass
+class MixOccupancyResult:
+    """Occupancy and invalidation rate per scenario and configuration.
+
+    ``scenarios`` maps scenario label (a mix spec or a single-program
+    baseline name) to ``{"Shared L2": (occupancy, invalidation_rate),
+    "Private L2": ...}``.
+    """
+
+    scenarios: Dict[str, Dict[str, Tuple[float, float]]]
+    programs: Tuple[str, ...]
+
+    def mixes(self) -> List[str]:
+        return [label for label in self.scenarios if "+" in label]
+
+
+def _spec(
+    scenario: str,
+    tracked_level: str,
+    num_cores: int,
+    scale: int,
+    measure_accesses: int,
+    seed: int,
+) -> RunSpec:
+    """One simulation point; mixes are routed through ``RunSpec.mix``."""
+    return RunSpec(
+        workload=scenario,
+        tracked_level=tracked_level,
+        organization="cuckoo",
+        ways=4,
+        provisioning=1.0,
+        num_cores=num_cores,
+        scale=scale,
+        seed=seed,
+        measure_accesses=measure_accesses,
+        mix=scenario if "+" in scenario else None,
+    )
+
+
+def grid(
+    workloads: Optional[Sequence[str]] = None,
+    num_cores: int = 16,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+) -> RunGrid:
+    """The sweep: every pair mix plus the single-program baselines.
+
+    ``workloads`` is the program *pool* the pair matrix is drawn from, not
+    the point list (the engine's ``--workloads`` flag therefore narrows the
+    matrix).
+    """
+    programs = tuple(workloads) if workloads is not None else DEFAULT_PROGRAMS
+    scenarios = list(programs) + mixes_for(programs, num_cores)
+    return RunGrid(
+        _spec(scenario, level, num_cores, scale, measure_accesses, seed)
+        for level in ("L1", "L2")
+        for scenario in scenarios
+    )
+
+
+def run(
+    workloads: Optional[Sequence[str]] = None,
+    num_cores: int = 16,
+    scale: int = common.DEFAULT_SCALE,
+    measure_accesses: int = common.DEFAULT_MEASURE_ACCESSES,
+    seed: int = 0,
+    runner: Optional[ParallelRunner] = None,
+) -> MixOccupancyResult:
+    """Execute the mix matrix through the engine."""
+    programs = tuple(workloads) if workloads is not None else DEFAULT_PROGRAMS
+    runner = runner if runner is not None else serial_runner()
+    report = runner.run(grid(programs, num_cores, scale, measure_accesses, seed))
+    scenarios: Dict[str, Dict[str, Tuple[float, float]]] = {}
+    for scenario in list(programs) + mixes_for(programs, num_cores):
+        per_level: Dict[str, Tuple[float, float]] = {}
+        for level, label in (("L1", "Shared L2"), ("L2", "Private L2")):
+            point = report.result_for(
+                _spec(scenario, level, num_cores, scale, measure_accesses, seed)
+            )
+            per_level[label] = (
+                point.occupancy_vs_worst_case,
+                point.forced_invalidation_rate,
+            )
+        scenarios[scenario] = per_level
+    return MixOccupancyResult(scenarios=scenarios, programs=programs)
+
+
+def format_table(result: MixOccupancyResult) -> str:
+    headers = [
+        "Scenario",
+        "Shared-L2 occ.", "Shared-L2 inv.",
+        "Private-L2 occ.", "Private-L2 inv.",
+    ]
+    rows: List[List[object]] = []
+    for label, per_level in result.scenarios.items():
+        shared = per_level["Shared L2"]
+        private = per_level["Private L2"]
+        rows.append(
+            [
+                label,
+                format_percentage(shared[0], digits=1),
+                format_percentage(shared[1], digits=3),
+                format_percentage(private[0], digits=1),
+                format_percentage(private[1], digits=3),
+            ]
+        )
+    return render_table(
+        headers,
+        rows,
+        title="Mix sweep: directory occupancy and forced invalidations (Cuckoo 4w 1x)",
+    )

@@ -1,0 +1,336 @@
+"""On-disk trace format: a compact, chunked, ``.npz``-backed container.
+
+A recorded trace is a standard uncompressed NumPy ``.npz`` archive holding
+four parallel per-access arrays plus a JSON header:
+
+========== ============ ====================================================
+member      dtype        contents
+========== ============ ====================================================
+``header``  ``uint8``    UTF-8 JSON :class:`TraceHeader` (workload name and
+                         category, generation seed, core count, scale,
+                         block size, access count, content fingerprint)
+``cores``   ``int32``    issuing core of each access
+``addresses`` ``int64``  virtual byte address of each access
+``writes``  ``bool``     write flag per access
+``instrs``  ``bool``     instruction-fetch flag per access
+========== ============ ====================================================
+
+``np.savez`` stores members uncompressed (``ZIP_STORED``), which means each
+member's ``.npy`` payload sits as one contiguous byte range inside the
+archive.  :class:`TraceFile` exploits that to *memory-map* the arrays
+(:func:`_map_member`): replaying a multi-gigabyte trace touches only the
+pages the simulator actually streams, and several replays share one page
+cache.  If a member turns out to be compressed (a foreign archive), the
+reader transparently falls back to a normal in-memory load.
+
+The ``fingerprint`` is a SHA-256 over the header's identity fields and the
+raw bytes of all four arrays, so a trace file can be verified end-to-end
+(:meth:`TraceFile.verify`) and the engine can tell two recordings apart
+without replaying them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import zipfile
+from dataclasses import asdict, dataclass, fields
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = ["TRACE_FORMAT_VERSION", "TraceHeader", "TraceFile", "write_trace"]
+
+#: Bumped whenever the container layout changes incompatibly.
+TRACE_FORMAT_VERSION = 1
+
+#: Array members of the archive, in fingerprint order.
+_ARRAY_MEMBERS = ("cores", "addresses", "writes", "instrs")
+
+#: dtypes each member is normalised to before writing/fingerprinting.
+_MEMBER_DTYPES = {
+    "cores": np.int32,
+    "addresses": np.int64,
+    "writes": np.bool_,
+    "instrs": np.bool_,
+}
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """Identity and provenance of one recorded trace.
+
+    ``num_cores``, ``scale`` and ``block_bytes`` pin down the generating
+    :class:`~repro.config.SystemConfig` closely enough that replay can
+    refuse a mismatched system instead of silently producing a different
+    simulation point.  ``scale`` is informational (``None`` when the trace
+    was recorded from a hand-built system).
+    """
+
+    workload: str
+    category: str
+    seed: int
+    num_cores: int
+    block_bytes: int
+    num_accesses: int
+    fingerprint: str
+    scale: Optional[int] = None
+    format_version: int = TRACE_FORMAT_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "TraceHeader":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TraceHeader fields: {sorted(unknown)}")
+        required = {
+            f.name for f in fields(cls) if f.default is dataclasses.MISSING
+        }
+        missing = required - set(data)
+        if missing:
+            raise ValueError(f"trace header missing fields: {sorted(missing)}")
+        return cls(**data)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary (``repro-run trace info``)."""
+        scale = self.scale if self.scale is not None else "unknown"
+        return "\n".join(
+            [
+                f"workload:     {self.workload} ({self.category})",
+                f"seed:         {self.seed}",
+                f"cores:        {self.num_cores}",
+                f"scale:        {scale}",
+                f"block bytes:  {self.block_bytes}",
+                f"accesses:     {self.num_accesses}",
+                f"fingerprint:  {self.fingerprint}",
+                f"format:       v{self.format_version}",
+            ]
+        )
+
+
+def _identity_payload(header: TraceHeader) -> bytes:
+    """The header fields covered by the fingerprint, canonically encoded."""
+    identity = {
+        "workload": header.workload,
+        "category": header.category,
+        "seed": header.seed,
+        "num_cores": header.num_cores,
+        "block_bytes": header.block_bytes,
+        "num_accesses": header.num_accesses,
+        "format_version": header.format_version,
+    }
+    return json.dumps(identity, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def compute_fingerprint(header: TraceHeader, arrays: Dict[str, np.ndarray]) -> str:
+    """SHA-256 over the identity fields and every array's raw bytes.
+
+    Hashes straight from the arrays' buffers (no ``tobytes`` copy), so
+    verifying a memory-mapped multi-gigabyte trace streams pages instead
+    of materialising each member in RAM.
+    """
+    digest = hashlib.sha256(_identity_payload(header))
+    for name in _ARRAY_MEMBERS:
+        array = arrays[name]
+        if array.dtype != _MEMBER_DTYPES[name] or not array.flags.c_contiguous:
+            array = np.ascontiguousarray(array, dtype=_MEMBER_DTYPES[name])
+        digest.update(array.data)
+    return digest.hexdigest()
+
+
+def write_trace(
+    path: Union[str, Path],
+    header: TraceHeader,
+    cores: np.ndarray,
+    addresses: np.ndarray,
+    writes: np.ndarray,
+    instrs: np.ndarray,
+) -> TraceHeader:
+    """Write one trace archive; returns the header with its fingerprint set.
+
+    The arrays must be parallel (same length, one entry per access); they
+    are normalised to the format's dtypes before writing so the on-disk
+    bytes — and therefore the fingerprint — do not depend on what the
+    recorder happened to accumulate in.
+    """
+    arrays = {
+        "cores": np.ascontiguousarray(cores, dtype=np.int32),
+        "addresses": np.ascontiguousarray(addresses, dtype=np.int64),
+        "writes": np.ascontiguousarray(writes, dtype=np.bool_),
+        "instrs": np.ascontiguousarray(instrs, dtype=np.bool_),
+    }
+    lengths = {name: len(array) for name, array in arrays.items()}
+    if len(set(lengths.values())) != 1:
+        raise ValueError(f"trace arrays must be parallel, got lengths {lengths}")
+    if lengths["cores"] != header.num_accesses:
+        raise ValueError(
+            f"header says {header.num_accesses} accesses, arrays hold {lengths['cores']}"
+        )
+    fingerprint = compute_fingerprint(header, arrays)
+    stamped = TraceHeader.from_dict({**header.to_dict(), "fingerprint": fingerprint})
+    header_bytes = np.frombuffer(
+        json.dumps(stamped.to_dict(), sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # np.savez appends ".npz" to suffix-less paths; write via a file handle so
+    # the trace lands exactly where the caller asked.
+    with path.open("wb") as handle:
+        np.savez(handle, header=header_bytes, **arrays)
+    return stamped
+
+
+def _map_member(path: Path, name: str) -> Optional[np.ndarray]:
+    """Memory-map one uncompressed ``.npy`` member of the archive.
+
+    Returns ``None`` when the member is compressed or the local zip entry
+    is not laid out the way ``np.savez`` writes it, in which case the
+    caller falls back to ``np.load``.
+    """
+    member = name + ".npy"
+    with zipfile.ZipFile(path) as archive:
+        try:
+            info = archive.getinfo(member)
+        except KeyError:
+            return None
+        if info.compress_type != zipfile.ZIP_STORED:
+            return None
+    with path.open("rb") as handle:
+        handle.seek(info.header_offset)
+        local_header = handle.read(30)
+        if len(local_header) != 30 or local_header[:4] != b"PK\x03\x04":
+            return None
+        name_length = int.from_bytes(local_header[26:28], "little")
+        extra_length = int.from_bytes(local_header[28:30], "little")
+        handle.seek(info.header_offset + 30 + name_length + extra_length)
+        try:
+            version = np.lib.format.read_magic(handle)
+            if version == (1, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_1_0(handle)
+            elif version == (2, 0):
+                shape, fortran, dtype = np.lib.format.read_array_header_2_0(handle)
+            else:
+                return None
+        except ValueError:
+            return None
+        if fortran or dtype.hasobject:
+            return None
+        offset = handle.tell()
+    return np.memmap(path, dtype=dtype, mode="r", offset=offset, shape=shape)
+
+
+class TraceFile:
+    """A recorded trace opened for replay.
+
+    Arrays are resolved lazily and memory-mapped where the archive layout
+    allows it; ``mapped`` reports whether the zero-copy path was taken for
+    every array (tests and ``trace info`` surface it).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise FileNotFoundError(f"trace file not found: {self._path}")
+        try:
+            with np.load(self._path) as archive:
+                if "header" not in archive.files:
+                    raise ValueError(f"{self._path} is not a repro trace (no header)")
+                missing = [
+                    name for name in _ARRAY_MEMBERS if name not in archive.files
+                ]
+                if missing:
+                    raise ValueError(
+                        f"{self._path} is missing trace arrays: {', '.join(missing)}"
+                    )
+                header_bytes = bytes(archive["header"].tobytes())
+        except (zipfile.BadZipFile, OSError) as exc:
+            raise ValueError(f"{self._path} is not a readable trace archive: {exc}")
+        self._header = TraceHeader.from_dict(json.loads(header_bytes.decode("utf-8")))
+        if self._header.format_version > TRACE_FORMAT_VERSION:
+            raise ValueError(
+                f"{self._path} uses trace format v{self._header.format_version}; "
+                f"this library reads up to v{TRACE_FORMAT_VERSION}"
+            )
+        self._arrays: Optional[Dict[str, np.ndarray]] = None
+        self._mapped = False
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def header(self) -> TraceHeader:
+        return self._header
+
+    @property
+    def mapped(self) -> bool:
+        """True when every array is memory-mapped (arrays must be loaded)."""
+        self.arrays()
+        return self._mapped
+
+    def __len__(self) -> int:
+        return self._header.num_accesses
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """The four parallel per-access arrays, memory-mapped if possible."""
+        if self._arrays is not None:
+            return self._arrays
+        arrays: Dict[str, np.ndarray] = {}
+        mapped = True
+        fallback: Optional[Dict[str, np.ndarray]] = None
+        for name in _ARRAY_MEMBERS:
+            array = _map_member(self._path, name)
+            if array is None:
+                mapped = False
+                if fallback is None:
+                    with np.load(self._path) as archive:
+                        fallback = {m: archive[m] for m in _ARRAY_MEMBERS}
+                array = fallback[name]
+            if len(array) != self._header.num_accesses:
+                raise ValueError(
+                    f"{self._path}: array {name!r} holds {len(array)} entries, "
+                    f"header says {self._header.num_accesses}"
+                )
+            arrays[name] = array
+        self._arrays = arrays
+        self._mapped = mapped
+        return arrays
+
+    def iter_chunks(self, chunk_size: int = 16384) -> Iterator[Tuple[list, list, list, list]]:
+        """Stream the trace as :data:`~repro.coherence.simulator.TraceChunk`\\ s.
+
+        Chunks are plain Python lists (the simulator's scalar hot loop is
+        fastest on them); chunk boundaries carry no meaning — the flattened
+        stream is the trace.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        arrays = self.arrays()
+        cores = arrays["cores"]
+        addresses = arrays["addresses"]
+        writes = arrays["writes"]
+        instrs = arrays["instrs"]
+        total = self._header.num_accesses
+        for start in range(0, total, chunk_size):
+            end = min(start + chunk_size, total)
+            yield (
+                cores[start:end].tolist(),
+                addresses[start:end].tolist(),
+                writes[start:end].tolist(),
+                instrs[start:end].tolist(),
+            )
+
+    def verify(self) -> bool:
+        """Recompute the fingerprint over the full file; True when intact."""
+        return compute_fingerprint(self._header, self.arrays()) == self._header.fingerprint
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TraceFile({str(self._path)!r}, workload={self._header.workload!r}, "
+            f"accesses={self._header.num_accesses})"
+        )

@@ -1,0 +1,122 @@
+"""SMARTS-style systematic sampling of recorded traces.
+
+Replaying a long recording end to end is cheap compared to generating it,
+but still linear in its length.  Systematic sampling (Wunderlich et al.,
+SMARTS) cuts that cost: the trace is consumed as alternating windows —
+``skip_window`` accesses executed for micro-architectural state only
+(caches, directories and the page mapper advance; statistics are
+discarded) followed by ``measure_window`` accesses whose statistics are
+kept.  Every skipped window doubles as functional warming for the
+measured window after it, so the merged measured-window statistics
+estimate the full-trace result at a fraction of the measured volume.
+
+:class:`SampledTrace` packages the policy (window sizes, window budget)
+with a trace source and drives
+:meth:`repro.coherence.simulator.TraceSimulator.run_sampled`; the source
+can be a recorded :class:`~repro.traces.replay.TraceReplayWorkload`, a
+live generator, or a :class:`~repro.traces.mix.MixWorkload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.coherence.simulator import SimulationResult, TraceSimulator
+from repro.coherence.system import TiledCMP
+from repro.config import SystemConfig
+from repro.workloads.base import Workload
+
+__all__ = ["SampledRun", "SampledTrace"]
+
+
+@dataclass(frozen=True)
+class SampledRun:
+    """Outcome of one sampled simulation."""
+
+    result: SimulationResult
+    windows: int
+    measure_window: int
+    skip_window: int
+
+    @property
+    def measured_accesses(self) -> int:
+        return self.result.accesses
+
+    @property
+    def sampled_fraction(self) -> float:
+        """Fraction of the consumed trace that was measured."""
+        window = self.measure_window + self.skip_window
+        return self.measure_window / window if window else 0.0
+
+
+class SampledTrace:
+    """A trace source plus a systematic-sampling policy.
+
+    Parameters
+    ----------
+    workload:
+        The access-stream source (typically a
+        :class:`~repro.traces.replay.TraceReplayWorkload`; any workload
+        works).
+    measure_window:
+        Accesses measured per window.
+    skip_window:
+        Accesses executed unmeasured (functional warming) before each
+        measured window.
+    max_windows:
+        Optional budget; ``None`` samples until the trace runs dry (live
+        infinite generators must set a budget).
+
+    ``run``'s ``occupancy_sample_interval`` defaults to 2 000 accesses,
+    matching the engine's :class:`~repro.engine.spec.RunSpec` default so
+    sampled and unsampled replays report occupancy at the same cadence.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        measure_window: int,
+        skip_window: int,
+        max_windows: Optional[int] = None,
+    ) -> None:
+        if measure_window <= 0:
+            raise ValueError("measure_window must be positive")
+        if skip_window < 0:
+            raise ValueError("skip_window must be non-negative")
+        if max_windows is not None and max_windows <= 0:
+            raise ValueError("max_windows must be positive")
+        self._workload = workload
+        self._measure_window = measure_window
+        self._skip_window = skip_window
+        self._max_windows = max_windows
+
+    @property
+    def workload(self) -> Workload:
+        return self._workload
+
+    def run(
+        self,
+        system_config: SystemConfig,
+        directory_factory: Callable[[int, int], "object"],
+        seed: int = 0,
+        occupancy_sample_interval: int = 2_000,
+    ) -> SampledRun:
+        """Build a system and sample the trace through it."""
+        system = TiledCMP(system_config, directory_factory)
+        simulator = TraceSimulator(
+            system, occupancy_sample_interval=occupancy_sample_interval
+        )
+        chunks = self._workload.trace_chunks(system_config, seed=seed)
+        result, windows = simulator.run_sampled(
+            chunks,
+            measure_window=self._measure_window,
+            skip_window=self._skip_window,
+            max_windows=self._max_windows,
+        )
+        return SampledRun(
+            result=result,
+            windows=windows,
+            measure_window=self._measure_window,
+            skip_window=self._skip_window,
+        )

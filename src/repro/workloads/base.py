@@ -15,13 +15,14 @@ __all__ = ["WorkloadCategory", "Workload", "ZipfSampler", "AddressSpaceLayout"]
 
 
 class WorkloadCategory(str, Enum):
-    """Table 2 groups."""
+    """Table 2 groups (plus the multi-programmed mixes this repo adds)."""
 
     OLTP = "OLTP"
     DSS = "DSS"
     WEB = "Web"
     SCIENTIFIC = "Sci"
     SYNTHETIC = "Synthetic"
+    MIX = "Mix"
 
 
 class ZipfSampler:
@@ -147,6 +148,26 @@ class Workload(abc.ABC):
                 cores, addresses, writes, instrs = [], [], [], []
         if cores:  # finite traces (tests) flush their tail chunk
             yield cores, addresses, writes, instrs
+
+    def _trace_via_chunks(
+        self, system: SystemConfig, seed: int = 0
+    ) -> Iterator[MemoryAccess]:
+        """Adapt :meth:`trace_chunks` back into a per-access stream.
+
+        The inverse of the default :meth:`trace_chunks`: chunk-native
+        workloads (the vectorised generators, trace replays, mixes)
+        implement ``trace`` by delegating here.
+        """
+        for cores, addresses, writes, instrs in self.trace_chunks(system, seed=seed):
+            for core, address, is_write, is_instruction in zip(
+                cores, addresses, writes, instrs
+            ):
+                yield MemoryAccess(
+                    core=core,
+                    address=address,
+                    is_write=is_write,
+                    is_instruction=is_instruction,
+                )
 
     def recommended_warmup(self, system: SystemConfig) -> int:
         """Accesses needed to warm the tracked caches before measuring.

@@ -218,16 +218,7 @@ class SyntheticWorkload(Workload):
             )
 
     def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
-        for cores, addresses, writes, instrs in self.trace_chunks(system, seed):
-            for core, address, is_write, is_instruction in zip(
-                cores, addresses, writes, instrs
-            ):
-                yield MemoryAccess(
-                    core=core,
-                    address=address,
-                    is_write=is_write,
-                    is_instruction=is_instruction,
-                )
+        return self._trace_via_chunks(system, seed)
 
 
 class UniformRandomWorkload(Workload):
@@ -273,8 +264,4 @@ class UniformRandomWorkload(Workload):
             )
 
     def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
-        for cores, addresses, writes, instrs in self.trace_chunks(system, seed):
-            for core, address, is_write in zip(cores, addresses, writes):
-                yield MemoryAccess(
-                    core=core, address=address, is_write=is_write, is_instruction=False
-                )
+        return self._trace_via_chunks(system, seed)

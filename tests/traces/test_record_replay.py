@@ -1,0 +1,214 @@
+"""Record→replay fidelity: replay must be bit-identical to live generation.
+
+The golden-equivalence guarantee of the trace subsystem: for every Table 2
+workload, recording the stream once and replaying it through
+:func:`~repro.experiments.common.run_workload` produces *exactly* the
+:class:`~repro.coherence.simulator.SimulationResult` live generation
+produces — every directory counter, the full attempt histogram, traffic,
+hit rates and each occupancy sample.  Runs are scaled far down so the
+whole suite stays fast.
+"""
+
+import pytest
+
+from repro.config import CacheLevel
+from repro.experiments.common import cuckoo_factory, run_workload, scaled_system
+from repro.traces import TraceRecorder, TraceReplayWorkload, accesses_for_run
+from repro.workloads.suite import WORKLOAD_NAMES, get_workload
+
+SCALE = 64
+CORES = 8
+MEASURE = 1200
+SEED = 0
+
+
+def _assert_results_identical(live, replayed):
+    a, b = live.result, replayed.result
+    assert a.accesses == b.accesses
+    assert a.directory_stats == b.directory_stats  # every counter + histogram
+    assert a.per_slice_stats == b.per_slice_stats
+    assert a.traffic == b.traffic
+    assert a.cache_hit_rate == b.cache_hit_rate
+    assert a.average_occupancy == b.average_occupancy
+    assert a.occupancy_samples == b.occupancy_samples
+    assert live.occupancy_vs_worst_case == replayed.occupancy_vs_worst_case
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_replay_is_bit_identical_to_live_generation(name, tmp_path):
+    system = scaled_system(CacheLevel.L1, num_cores=CORES, scale=SCALE)
+    workload = get_workload(name)
+    path = tmp_path / f"{name}.npz"
+    total = accesses_for_run(workload, system, MEASURE)
+    TraceRecorder().record(workload, system, path, total, seed=SEED, scale=SCALE)
+
+    live = run_workload(
+        workload, system, cuckoo_factory(system), measure_accesses=MEASURE, seed=SEED
+    )
+    replayed = run_workload(
+        TraceReplayWorkload(path),
+        system,
+        cuckoo_factory(system),
+        measure_accesses=MEASURE,
+        seed=SEED,
+    )
+    _assert_results_identical(live, replayed)
+
+
+def test_replay_is_bit_identical_on_private_l2_too(tmp_path):
+    system = scaled_system(CacheLevel.L2, num_cores=4, scale=64)
+    workload = get_workload("ocean")
+    path = tmp_path / "ocean-l2.npz"
+    total = accesses_for_run(workload, system, 800)
+    TraceRecorder().record(workload, system, path, total, seed=SEED, scale=64)
+    live = run_workload(
+        workload, system, cuckoo_factory(system), measure_accesses=800, seed=SEED
+    )
+    replayed = run_workload(
+        TraceReplayWorkload(path), system, cuckoo_factory(system),
+        measure_accesses=800, seed=SEED,
+    )
+    _assert_results_identical(live, replayed)
+
+
+class TestReplayValidation:
+    def _record(self, tmp_path):
+        system = scaled_system(CacheLevel.L1, num_cores=CORES, scale=SCALE)
+        workload = get_workload("Oracle")
+        path = tmp_path / "oracle.npz"
+        TraceRecorder().record(workload, system, path, 2000, seed=SEED, scale=SCALE)
+        return path
+
+    def test_wrong_core_count_rejected(self, tmp_path):
+        path = self._record(tmp_path)
+        wrong = scaled_system(CacheLevel.L1, num_cores=16, scale=SCALE)
+        with pytest.raises(ValueError, match="cores"):
+            next(iter(TraceReplayWorkload(path).trace_chunks(wrong)))
+
+    def test_wrong_seed_rejected(self, tmp_path):
+        path = self._record(tmp_path)
+        system = scaled_system(CacheLevel.L1, num_cores=CORES, scale=SCALE)
+        with pytest.raises(ValueError, match="seed"):
+            next(iter(TraceReplayWorkload(path).trace_chunks(system, seed=7)))
+
+    def test_replay_workload_carries_recorded_identity(self, tmp_path):
+        path = self._record(tmp_path)
+        replay = TraceReplayWorkload(path)
+        assert replay.name == "Oracle"
+        assert replay.category.value == "OLTP"
+        assert replay.num_accesses == 2000
+
+
+class TestEngineIntegration:
+    def test_execute_spec_replays_trace_identically(self, tmp_path):
+        """The engine's trace path reproduces the live-generation RunResult."""
+        from repro.engine.execute import execute_spec
+        from repro.engine.spec import RunSpec
+        from repro.traces.recorder import TraceRecorder
+
+        live_spec = RunSpec(
+            workload="Oracle",
+            tracked_level="L1",
+            num_cores=CORES,
+            scale=SCALE,
+            measure_accesses=MEASURE,
+            seed=SEED,
+        )
+        path = tmp_path / "oracle.npz"
+        TraceRecorder().record_for_spec(live_spec, path)
+        trace_spec = RunSpec.from_dict(
+            {**live_spec.to_dict(), "trace": str(path)}
+        )
+        live = execute_spec(live_spec).to_dict()
+        replayed = execute_spec(trace_spec).to_dict()
+        live.pop("elapsed_seconds")
+        replayed.pop("elapsed_seconds")
+        live.pop("spec")
+        replayed.pop("spec")
+        assert live == replayed
+
+    def test_execute_spec_rejects_mismatched_trace(self, tmp_path):
+        from repro.engine.execute import execute_spec
+        from repro.engine.spec import RunSpec
+        from repro.traces.recorder import TraceRecorder
+
+        base = RunSpec(
+            workload="Oracle", num_cores=CORES, scale=SCALE,
+            measure_accesses=500, seed=SEED,
+        )
+        path = tmp_path / "oracle.npz"
+        TraceRecorder().record_for_spec(base, path)
+        wrong_name = RunSpec.from_dict(
+            {**base.to_dict(), "workload": "Apache", "trace": str(path)}
+        )
+        with pytest.raises(ValueError, match="does not match"):
+            execute_spec(wrong_name)
+        wrong_seed = RunSpec.from_dict(
+            {**base.to_dict(), "seed": 9, "trace": str(path)}
+        )
+        with pytest.raises(ValueError, match="seed"):
+            execute_spec(wrong_seed)
+
+    def test_execute_spec_rejects_mismatched_scale(self, tmp_path):
+        from repro.engine.execute import execute_spec
+        from repro.engine.spec import RunSpec
+        from repro.traces.recorder import TraceRecorder
+
+        base = RunSpec(
+            workload="Oracle", num_cores=CORES, scale=SCALE,
+            measure_accesses=500, seed=SEED,
+        )
+        path = tmp_path / "oracle.npz"
+        TraceRecorder().record_for_spec(base, path)
+        wrong_scale = RunSpec.from_dict(
+            {**base.to_dict(), "scale": SCALE * 2, "trace": str(path)}
+        )
+        with pytest.raises(ValueError, match="scale"):
+            execute_spec(wrong_scale)
+
+    def test_rerecorded_trace_changes_key_and_fails_stale_fingerprint(self, tmp_path):
+        """Content fingerprints key cached results to recording contents."""
+        from repro.engine.execute import execute_spec
+        from repro.engine.spec import RunSpec
+        from repro.traces.format import TraceFile
+        from repro.traces.recorder import TraceRecorder
+
+        base = RunSpec(
+            workload="Oracle", num_cores=CORES, scale=SCALE,
+            measure_accesses=500, seed=SEED,
+        )
+        path = tmp_path / "oracle.npz"
+        TraceRecorder().record_for_spec(base, path)
+        first_print = TraceFile(path).header.fingerprint
+        spec = RunSpec.from_dict(
+            {**base.to_dict(), "trace": str(path), "trace_fingerprint": first_print}
+        )
+        execute_spec(spec)  # matches: runs fine
+
+        # Re-record the same path with a longer window: contents change.
+        TraceRecorder().record_for_spec(base, path, num_accesses=2500)
+        second_print = TraceFile(path).header.fingerprint
+        assert second_print != first_print
+        fresh = RunSpec.from_dict(
+            {**base.to_dict(), "trace": str(path), "trace_fingerprint": second_print}
+        )
+        assert fresh.key() != spec.key()  # new recording, new cache address
+        with pytest.raises(ValueError, match="contents changed"):
+            execute_spec(spec)  # the stale spec no longer silently runs
+
+    def test_execute_spec_rejects_too_short_trace(self, tmp_path):
+        from repro.engine.execute import execute_spec
+        from repro.engine.spec import RunSpec
+        from repro.traces.recorder import TraceRecorder
+
+        base = RunSpec(
+            workload="Oracle", num_cores=CORES, scale=SCALE,
+            measure_accesses=500, seed=SEED,
+        )
+        path = tmp_path / "short.npz"
+        TraceRecorder().record_for_spec(base, path)
+        hungrier = RunSpec.from_dict(
+            {**base.to_dict(), "measure_accesses": 50_000, "trace": str(path)}
+        )
+        with pytest.raises(ValueError, match="holds"):
+            execute_spec(hungrier)

@@ -1,0 +1,165 @@
+"""SMARTS-style systematic sampling: measured-window-only statistics."""
+
+import pytest
+
+from repro.config import CacheLevel
+from repro.experiments.common import cuckoo_factory, run_workload, scaled_system
+from repro.traces import SampledTrace, TraceRecorder, TraceReplayWorkload, accesses_for_run
+from repro.workloads.suite import get_workload
+
+
+def _recorded_replay(tmp_path, accesses=6000, name="Oracle", cores=8, scale=64):
+    system = scaled_system(CacheLevel.L1, num_cores=cores, scale=scale)
+    workload = get_workload(name)
+    path = tmp_path / f"{name}.npz"
+    TraceRecorder().record(workload, system, path, accesses, seed=0, scale=scale)
+    return TraceReplayWorkload(path), system
+
+
+class TestSampledRuns:
+    def test_counts_windows_and_measured_accesses(self, tmp_path):
+        replay, system = _recorded_replay(tmp_path, accesses=6000)
+        sampled = SampledTrace(replay, measure_window=500, skip_window=1000).run(
+            system, cuckoo_factory(system)
+        )
+        # 6000 accesses = 4 full (1000 skip + 500 measure) windows.
+        assert sampled.windows == 4
+        assert sampled.measured_accesses == 2000
+        assert sampled.result.accesses == 2000
+        assert sampled.sampled_fraction == pytest.approx(1 / 3)
+
+    def test_max_windows_budget(self, tmp_path):
+        replay, system = _recorded_replay(tmp_path, accesses=6000)
+        sampled = SampledTrace(
+            replay, measure_window=500, skip_window=500, max_windows=2
+        ).run(system, cuckoo_factory(system))
+        assert sampled.windows == 2
+        assert sampled.measured_accesses == 1000
+
+    def test_partial_final_window_is_discarded(self, tmp_path):
+        replay, system = _recorded_replay(tmp_path, accesses=2600)
+        sampled = SampledTrace(replay, measure_window=1000, skip_window=0).run(
+            system, cuckoo_factory(system)
+        )
+        # 2600 accesses: two complete 1000-access windows, 600 dropped.
+        assert sampled.windows == 2
+        assert sampled.measured_accesses == 2000
+
+    def test_zero_skip_sampling_matches_continuous_counters(self, tmp_path):
+        """With no skipped accesses, merged window counters equal a plain run.
+
+        Sampling resets the statistics at each window boundary and merges
+        the per-window deltas; with ``skip_window=0`` over the whole trace
+        that sum telescopes back to the continuous (warmup=0) totals.
+        """
+        replay, system = _recorded_replay(tmp_path, accesses=4000)
+        sampled = SampledTrace(replay, measure_window=1000, skip_window=0).run(
+            system, cuckoo_factory(system)
+        )
+        continuous = run_workload(
+            replay, system, cuckoo_factory(system),
+            measure_accesses=4000, warmup_accesses=0, seed=0,
+        ).result
+        merged = sampled.result.directory_stats
+        reference = continuous.directory_stats
+        assert merged.insertions == reference.insertions
+        assert merged.insertion_attempts == reference.insertion_attempts
+        assert merged.forced_invalidations == reference.forced_invalidations
+        assert merged.sharer_additions == reference.sharer_additions
+        assert merged.attempt_histogram == reference.attempt_histogram
+        assert sampled.result.traffic.total_messages == continuous.traffic.total_messages
+
+    def test_skipped_windows_are_excluded_from_stats(self, tmp_path):
+        """Sampled counters cover only the measured fraction of the trace."""
+        replay, system = _recorded_replay(tmp_path, accesses=6000)
+        full = run_workload(
+            replay, system, cuckoo_factory(system),
+            measure_accesses=6000, warmup_accesses=0, seed=0,
+        ).result
+        sampled = SampledTrace(replay, measure_window=500, skip_window=1000).run(
+            system, cuckoo_factory(system)
+        )
+        assert sampled.result.accesses < full.accesses
+        # Lookups happen on misses only; the sampled count must be well
+        # below the full-trace count (skipped windows contribute nothing).
+        assert (
+            sampled.result.directory_stats.lookups
+            < full.directory_stats.lookups
+        )
+
+    def test_per_slice_stats_exclude_skip_windows(self, tmp_path):
+        """Per-slice snapshots must not alias live stats mutated by skips.
+
+        Regression test: the per-slice list must agree with the merged
+        directory stats even when skip windows keep running after a
+        measured window ends.
+        """
+        replay, system = _recorded_replay(tmp_path, accesses=6000)
+        sampled = SampledTrace(replay, measure_window=500, skip_window=1000).run(
+            system, cuckoo_factory(system)
+        )
+        merged = sampled.result.directory_stats
+        per_slice = sampled.result.per_slice_stats
+        assert sum(s.lookups for s in per_slice) == merged.lookups
+        assert sum(s.insertions for s in per_slice) == merged.insertions
+        assert (
+            sum(s.forced_invalidations for s in per_slice)
+            == merged.forced_invalidations
+        )
+
+    def test_skipped_windows_still_warm_state(self, tmp_path):
+        """Functional warming: skipped accesses advance cache/directory state.
+
+        The first measured window of a skip>0 run starts from a warm
+        system, so its hit rate beats a cold-start run over the same
+        window length.
+        """
+        replay, system = _recorded_replay(tmp_path, accesses=6000)
+        warm = SampledTrace(
+            replay, measure_window=500, skip_window=2000, max_windows=1
+        ).run(system, cuckoo_factory(system))
+        cold = run_workload(
+            replay, system, cuckoo_factory(system),
+            measure_accesses=500, warmup_accesses=0, seed=0,
+        ).result
+        assert warm.result.cache_hit_rate > cold.cache_hit_rate
+
+    def test_validation(self, tmp_path):
+        replay, _system_ = _recorded_replay(tmp_path, accesses=1000)
+        with pytest.raises(ValueError):
+            SampledTrace(replay, measure_window=0, skip_window=10)
+        with pytest.raises(ValueError):
+            SampledTrace(replay, measure_window=10, skip_window=-1)
+        with pytest.raises(ValueError):
+            SampledTrace(replay, measure_window=10, skip_window=0, max_windows=0)
+
+
+class TestSimulatorEntryPoint:
+    def test_run_sampled_on_live_generator(self):
+        """Sampling also works straight off a live (infinite) generator."""
+        from repro.coherence.simulator import TraceSimulator
+        from repro.coherence.system import TiledCMP
+
+        system_config = scaled_system(CacheLevel.L1, num_cores=4, scale=64)
+        system = TiledCMP(system_config, cuckoo_factory(system_config))
+        simulator = TraceSimulator(system)
+        chunks = get_workload("DB2").trace_chunks(system_config, seed=0)
+        result, windows = simulator.run_sampled(
+            chunks, measure_window=300, skip_window=300, max_windows=3
+        )
+        assert windows == 3
+        assert result.accesses == 900
+        assert result.directory_stats.lookups > 0
+
+    def test_run_sampled_empty_stream(self):
+        from repro.coherence.simulator import TraceSimulator
+        from repro.coherence.system import TiledCMP
+
+        system_config = scaled_system(CacheLevel.L1, num_cores=4, scale=64)
+        system = TiledCMP(system_config, cuckoo_factory(system_config))
+        result, windows = TraceSimulator(system).run_sampled(
+            iter(()), measure_window=10, skip_window=10
+        )
+        assert windows == 0
+        assert result.accesses == 0
+        assert result.directory_stats.lookups == 0

@@ -1,0 +1,227 @@
+"""The on-disk trace container: headers, fingerprints, memory mapping."""
+
+import json
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.config import CacheLevel
+from repro.experiments.common import scaled_system
+from repro.traces import (
+    TRACE_FORMAT_VERSION,
+    TraceFile,
+    TraceHeader,
+    TraceRecorder,
+    accesses_for_run,
+    write_trace,
+)
+from repro.workloads.suite import get_workload
+
+
+def _header(num_accesses: int) -> TraceHeader:
+    return TraceHeader(
+        workload="Oracle",
+        category="OLTP",
+        seed=0,
+        num_cores=8,
+        block_bytes=64,
+        num_accesses=num_accesses,
+        fingerprint="",
+        scale=64,
+    )
+
+
+def _write_small_trace(path, num_accesses=100):
+    rng = np.random.default_rng(0)
+    return write_trace(
+        path,
+        _header(num_accesses),
+        rng.integers(0, 8, size=num_accesses),
+        rng.integers(0, 1 << 30, size=num_accesses) * 64,
+        rng.random(num_accesses) < 0.3,
+        rng.random(num_accesses) < 0.2,
+    )
+
+
+class TestWriteAndOpen:
+    def test_round_trips_header_and_arrays(self, tmp_path):
+        path = tmp_path / "t.npz"
+        header = _write_small_trace(path)
+        trace = TraceFile(path)
+        assert trace.header == header
+        assert trace.header.workload == "Oracle"
+        assert trace.header.format_version == TRACE_FORMAT_VERSION
+        arrays = trace.arrays()
+        assert len(arrays["cores"]) == 100
+        assert arrays["addresses"].dtype == np.int64
+        assert len(trace) == 100
+
+    def test_fingerprint_is_stamped_and_verifies(self, tmp_path):
+        path = tmp_path / "t.npz"
+        header = _write_small_trace(path)
+        assert header.fingerprint  # write_trace stamps it
+        assert TraceFile(path).verify()
+
+    def test_identical_recordings_share_a_fingerprint(self, tmp_path):
+        first = _write_small_trace(tmp_path / "a.npz")
+        second = _write_small_trace(tmp_path / "b.npz")
+        assert first.fingerprint == second.fingerprint
+
+    def test_different_contents_different_fingerprint(self, tmp_path):
+        first = _write_small_trace(tmp_path / "a.npz", num_accesses=100)
+        second = _write_small_trace(tmp_path / "b.npz", num_accesses=101)
+        assert first.fingerprint != second.fingerprint
+
+    def test_members_are_memory_mapped(self, tmp_path):
+        path = tmp_path / "t.npz"
+        _write_small_trace(path)
+        trace = TraceFile(path)
+        assert trace.mapped
+        assert all(
+            isinstance(array, np.memmap) for array in trace.arrays().values()
+        )
+
+    def test_compressed_archive_falls_back_to_load(self, tmp_path):
+        # Rewrite the archive with deflate compression: still readable,
+        # just not zero-copy.
+        path = tmp_path / "t.npz"
+        _write_small_trace(path)
+        reference = {name: np.asarray(a) for name, a in TraceFile(path).arrays().items()}
+        compressed = tmp_path / "c.npz"
+        with zipfile.ZipFile(path) as src, zipfile.ZipFile(
+            compressed, "w", zipfile.ZIP_DEFLATED
+        ) as dst:
+            for member in src.namelist():
+                dst.writestr(member, src.read(member))
+        trace = TraceFile(compressed)
+        assert not trace.mapped
+        for name, array in trace.arrays().items():
+            assert np.array_equal(array, reference[name])
+        assert trace.verify()
+
+
+class TestValidation:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            TraceFile(tmp_path / "nope.npz")
+
+    def test_non_trace_npz_rejected(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path.open("wb"), stuff=np.arange(4))
+        with pytest.raises(ValueError, match="no header"):
+            TraceFile(path)
+
+    def test_garbage_file_rejected(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(ValueError):
+            TraceFile(path)
+
+    def test_mismatched_array_lengths_rejected(self):
+        with pytest.raises(ValueError, match="parallel"):
+            write_trace(
+                "/tmp/never-written.npz",
+                _header(3),
+                np.zeros(3, dtype=np.int32),
+                np.zeros(2, dtype=np.int64),
+                np.zeros(3, dtype=bool),
+                np.zeros(3, dtype=bool),
+            )
+
+    def test_header_count_must_match_arrays(self):
+        with pytest.raises(ValueError, match="header says"):
+            write_trace(
+                "/tmp/never-written.npz",
+                _header(5),
+                np.zeros(3, dtype=np.int32),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(3, dtype=bool),
+                np.zeros(3, dtype=bool),
+            )
+
+    def test_tampered_payload_fails_verification(self, tmp_path):
+        path = tmp_path / "t.npz"
+        _write_small_trace(path)
+        trace = TraceFile(path)
+        arrays = {name: np.asarray(a).copy() for name, a in trace.arrays().items()}
+        arrays["addresses"][0] ^= 64  # flip one block
+        tampered = tmp_path / "tampered.npz"
+        header_bytes = np.frombuffer(
+            json.dumps(trace.header.to_dict(), sort_keys=True).encode(), dtype=np.uint8
+        )
+        with tampered.open("wb") as handle:
+            np.savez(handle, header=header_bytes, **arrays)
+        assert not TraceFile(tampered).verify()
+
+    def test_future_format_version_rejected(self, tmp_path):
+        path = tmp_path / "t.npz"
+        _write_small_trace(path)
+        header = TraceFile(path).header.to_dict()
+        header["format_version"] = TRACE_FORMAT_VERSION + 1
+        arrays = {name: np.asarray(a) for name, a in TraceFile(path).arrays().items()}
+        future = tmp_path / "future.npz"
+        with future.open("wb") as handle:
+            np.savez(
+                handle,
+                header=np.frombuffer(
+                    json.dumps(header, sort_keys=True).encode(), dtype=np.uint8
+                ),
+                **arrays,
+            )
+        with pytest.raises(ValueError, match="format"):
+            TraceFile(future)
+
+
+class TestChunkStreaming:
+    def test_chunks_flatten_to_the_recorded_stream(self, tmp_path):
+        path = tmp_path / "t.npz"
+        _write_small_trace(path, num_accesses=100)
+        trace = TraceFile(path)
+        arrays = trace.arrays()
+        cores, addresses, writes, instrs = [], [], [], []
+        for chunk in trace.iter_chunks(chunk_size=7):  # uneven tail on purpose
+            cores.extend(chunk[0])
+            addresses.extend(chunk[1])
+            writes.extend(chunk[2])
+            instrs.extend(chunk[3])
+        assert cores == arrays["cores"].tolist()
+        assert addresses == arrays["addresses"].tolist()
+        assert writes == arrays["writes"].tolist()
+        assert instrs == arrays["instrs"].tolist()
+
+
+class TestRecorder:
+    def test_recorded_stream_matches_live_prefix(self, tmp_path):
+        system = scaled_system(CacheLevel.L1, num_cores=8, scale=64)
+        workload = get_workload("Apache")
+        path = tmp_path / "apache.npz"
+        TraceRecorder().record(workload, system, path, 5000, seed=3, scale=64)
+        trace = TraceFile(path)
+        assert trace.header.seed == 3
+        recorded = trace.arrays()
+        live_cores, live_addresses = [], []
+        for cores, addresses, _writes, _instrs in workload.trace_chunks(system, seed=3):
+            live_cores.extend(cores)
+            live_addresses.extend(addresses)
+            if len(live_cores) >= 5000:
+                break
+        assert recorded["cores"].tolist() == live_cores[:5000]
+        assert recorded["addresses"].tolist() == live_addresses[:5000]
+
+    def test_finite_workload_too_short_errors(self, tmp_path):
+        from repro.traces import TraceReplayWorkload
+
+        system = scaled_system(CacheLevel.L1, num_cores=8, scale=64)
+        path = tmp_path / "short.npz"
+        TraceRecorder().record(get_workload("DB2"), system, path, 200, scale=64)
+        replay = TraceReplayWorkload(path)  # finite: 200 accesses
+        with pytest.raises(ValueError, match="finite traces"):
+            TraceRecorder().record(replay, system, tmp_path / "longer.npz", 300)
+
+    def test_accesses_for_run_covers_warmup_plus_measure(self):
+        system = scaled_system(CacheLevel.L1, num_cores=8, scale=64)
+        workload = get_workload("Oracle")
+        total = accesses_for_run(workload, system, measure_accesses=1000)
+        assert total == workload.recommended_warmup(system) + 1000
+        assert accesses_for_run(workload, system, 1000, warmup_accesses=50) == 1050
