@@ -24,6 +24,10 @@ def test_fig08_occupancy(benchmark, bench_scale, bench_measure, bench_workloads,
     )
     print()
     print(fig08_occupancy.format_table(result))
+    from repro.analysis.report import reference_summary
+
+    print()
+    print(reference_summary("fig08", result))
 
     assert result.private_l2["ocean"] > 0.85
     for name in bench_workloads:

@@ -23,6 +23,10 @@ def test_fig10_insertion_attempts(benchmark, bench_scale, bench_measure, bench_w
     )
     print()
     print(fig10_insertion_attempts.format_table(result))
+    from repro.analysis.report import reference_summary
+
+    print()
+    print(reference_summary("fig10", result))
 
     for per_workload in result.configurations().values():
         for workload, attempts in per_workload.items():

@@ -30,6 +30,10 @@ def test_fig12_invalidations(benchmark, bench_scale, bench_measure, bench_worklo
     )
     print()
     print(fig12_invalidations.format_table(result))
+    from repro.analysis.report import reference_summary
+
+    print()
+    print(reference_summary("fig12", result))
 
     for config_name, rates in result.configurations().items():
         sparse2 = _mean(rates["Sparse 2x"].values())

@@ -1,0 +1,218 @@
+"""Reporting-subsystem benchmark: streaming aggregation over a large store.
+
+Standalone script in the style of ``bench_hot_path.py`` (not a pytest
+module).  It synthesizes a result store of ``--records`` deterministic
+records on disk, then times the reporting paths that must scale with
+store size:
+
+* streaming the file through ``iter_store_records`` (the two-pass
+  last-record-wins reader);
+* ``SweepFrame.aggregate`` group-by/mean/geomean over the stream;
+* a flat ``SweepFrame.from_records`` render of the headline columns;
+* ``compare_files`` diffing the store against itself.
+
+The record is written to ``BENCH_report.json``.  ``--fail-below`` gates
+on the aggregation throughput (records/second), for local full-mode runs;
+CI runs ``--quick`` which is too small to gate on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_report_aggregation.py
+    PYTHONPATH=src python benchmarks/bench_report_aggregation.py --quick
+    PYTHONPATH=src python benchmarks/bench_report_aggregation.py --fail-below 50000
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.analysis.frame import SweepFrame
+from repro.analysis.report import compare_files
+from repro.engine.spec import ORGANIZATIONS, RunSpec
+from repro.engine.store import iter_store_records
+from repro.workloads.suite import WORKLOAD_NAMES
+
+DEFAULT_RECORDS = 20_000
+QUICK_RECORDS = 1_000
+
+
+def synthesize_store(path: Path, num_records: int) -> None:
+    """Write ``num_records`` deterministic records in store JSONL format.
+
+    Values are cheap arithmetic functions of the record index — the point
+    is volume, not physics — and specs cycle the workload/organization/
+    seed axes so group-by aggregation has real group structure.
+    """
+    num_workloads = len(WORKLOAD_NAMES)
+    num_organizations = len(ORGANIZATIONS)
+    with path.open("w", encoding="utf-8") as handle:
+        for index in range(num_records):
+            # Mixed-radix decomposition so every index yields a distinct
+            # spec (and therefore a distinct store key).
+            workload = index % num_workloads
+            organization = (index // num_workloads) % num_organizations
+            level = (index // (num_workloads * num_organizations)) % 2
+            seed = index // (num_workloads * num_organizations * 2)
+            spec = RunSpec(
+                workload=WORKLOAD_NAMES[workload],
+                tracked_level="L1" if level == 0 else "L2",
+                organization=ORGANIZATIONS[organization],
+                ways=4,
+                provisioning=1.0,
+                seed=seed,
+            )
+            result = {
+                "spec": spec.to_dict(),
+                "accesses": 40_000,
+                "cache_hit_rate": 0.5 + (index % 100) / 400.0,
+                "average_occupancy": 0.6 + (index % 50) / 250.0,
+                "occupancy_vs_worst_case": 0.6 + (index % 50) / 250.0,
+                "average_insertion_attempts": 1.0 + (index % 30) / 60.0,
+                "forced_invalidation_rate": (index % 7) / 10_000.0,
+                "insertions": 10_000 + index % 500,
+                "insertion_attempts": 11_000 + index % 600,
+                "forced_invalidations": index % 7,
+                "tracked_frames_total": 8_192,
+                "directory_capacity_total": 8_192,
+                "total_messages": 100_000 + index % 1_000,
+                "attempt_histogram": [[1, 9_000], [2, 1_000]],
+                "elapsed_seconds": 0.0,
+            }
+            handle.write(
+                json.dumps({"key": spec.key(), "result": result}) + "\n"
+            )
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - started
+
+
+def run_benchmark(num_records: int, repeats: int) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-report-") as tmp:
+        store_path = Path(tmp) / "results.jsonl"
+        _, synth_seconds = _timed(
+            lambda: synthesize_store(store_path, num_records)
+        )
+
+        def stream():
+            return sum(1 for _record in iter_store_records(store_path))
+
+        def aggregate():
+            return SweepFrame.aggregate(
+                (payload for _key, payload in iter_store_records(store_path)),
+                group_by=("workload", "organization"),
+                metrics={
+                    "points": ("workload", "count"),
+                    "avg_attempts": ("average_insertion_attempts", "mean"),
+                    "geomean_attempts": ("average_insertion_attempts", "geomean"),
+                    "invalidation_rate": ("forced_invalidation_rate", "mean"),
+                },
+            )
+
+        def render_flat():
+            return SweepFrame.from_records(
+                (payload for _key, payload in iter_store_records(store_path)),
+                fields=(
+                    "workload", "organization", "average_insertion_attempts",
+                    "forced_invalidation_rate",
+                ),
+            ).to_csv()
+
+        def self_compare():
+            return compare_files(store_path, store_path, threshold=0.0)
+
+        timings = {}
+        outputs = {}
+        for name, fn in (
+            ("stream_seconds", stream),
+            ("aggregate_seconds", aggregate),
+            ("render_flat_seconds", render_flat),
+            ("self_compare_seconds", self_compare),
+        ):
+            best_value, best_seconds = None, None
+            for _repeat in range(repeats):
+                value, seconds = _timed(fn)
+                if best_seconds is None or seconds < best_seconds:
+                    best_value, best_seconds = value, seconds
+            outputs[name], timings[name] = best_value, best_seconds
+
+        streamed = outputs["stream_seconds"]
+        frame = outputs["aggregate_seconds"]
+        report = outputs["self_compare_seconds"]
+        assert streamed == num_records, (streamed, num_records)
+        assert len(frame) == len(WORKLOAD_NAMES) * len(ORGANIZATIONS)
+        assert report.ok and report.compared == num_records
+
+        return {
+            "records": num_records,
+            "groups": len(frame),
+            "synthesize_seconds": synth_seconds,
+            "current_seconds": timings,
+            "aggregate_records_per_second": num_records / timings["aggregate_seconds"],
+            "stream_records_per_second": num_records / timings["stream_seconds"],
+        }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--records", type=int, default=None,
+        help=f"records to synthesize (default {DEFAULT_RECORDS})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help=f"CI smoke: {QUICK_RECORDS} records, one repeat",
+    )
+    parser.add_argument(
+        "--fail-below", type=float, default=None, metavar="RATE",
+        help="exit non-zero if aggregation throughput is below RATE records/s",
+    )
+    parser.add_argument(
+        "--output", default="BENCH_report.json", metavar="PATH",
+        help="where to write the benchmark record",
+    )
+    args = parser.parse_args(argv)
+
+    num_records = args.records
+    if num_records is None:
+        num_records = QUICK_RECORDS if args.quick else DEFAULT_RECORDS
+    repeats = 1 if args.quick else 3
+
+    record = run_benchmark(num_records, repeats)
+    record["quick"] = bool(args.quick)
+    record["unix_time"] = time.time()
+    Path(args.output).write_text(json.dumps(record, indent=2, sort_keys=True))
+
+    print(f"{'metric':28s} {'seconds':>10s}")
+    for name, seconds in record["current_seconds"].items():
+        print(f"{name:28s} {seconds:10.4f}")
+    print(
+        f"aggregation throughput: "
+        f"{record['aggregate_records_per_second']:,.0f} records/s "
+        f"over {record['records']:,} records -> {record['groups']} groups"
+    )
+    print(f"wrote {args.output}")
+
+    if (
+        args.fail_below is not None
+        and record["aggregate_records_per_second"] < args.fail_below
+    ):
+        print(
+            f"FAIL: aggregation throughput "
+            f"{record['aggregate_records_per_second']:,.0f} records/s below "
+            f"{args.fail_below:,.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,24 @@
-"""Result aggregation and plain-text reporting helpers.
+"""Result aggregation, reporting and comparison.
 
-Experiments produce dictionaries of numbers; this package turns them into
-the ASCII tables printed by the examples and benchmark harnesses, and
-provides the small statistical helpers (binning, geometric means) the
-experiment drivers share.
+The reporting subsystem: streaming sweep aggregation
+(:mod:`repro.analysis.frame`), ASCII table rendering
+(:mod:`repro.analysis.tables`), statistical helpers
+(:mod:`repro.analysis.stats`), digitized paper-reference curves with
+error metrics (:mod:`repro.analysis.reference`), and sweep/benchmark
+comparison with regression gating (:mod:`repro.analysis.report`).
+Experiments declare *what* to show; this package owns *how* it is
+reduced, rendered, scored against the paper, and diffed between runs.
 """
 
+from repro.analysis.frame import Column, PivotTable, SweepFrame, flatten_record
 from repro.analysis.stats import bin_by, geometric_mean, summarize
 from repro.analysis.tables import format_percentage, format_ratio, render_table
 
 __all__ = [
+    "Column",
+    "PivotTable",
+    "SweepFrame",
+    "flatten_record",
     "render_table",
     "format_percentage",
     "format_ratio",

@@ -1,0 +1,34 @@
+"""Digitized paper-figure curves and the error metrics that score them.
+
+``curves`` holds the reference data (one :class:`FigureReference` per
+digitized figure, keyed by experiment name); ``metrics`` holds the
+scoring functions (geomean relative error, max deviation, rank-order
+agreement).  The report CLI's ``--reference`` flag and the experiment
+drivers consume both through this package.
+"""
+
+from repro.analysis.reference.curves import (
+    REFERENCES,
+    FigureReference,
+    get_reference,
+)
+from repro.analysis.reference.metrics import (
+    ReferenceScore,
+    geomean_relative_error,
+    max_absolute_deviation,
+    max_relative_deviation,
+    rank_order_agreement,
+    score_series,
+)
+
+__all__ = [
+    "FigureReference",
+    "REFERENCES",
+    "ReferenceScore",
+    "get_reference",
+    "geomean_relative_error",
+    "max_absolute_deviation",
+    "max_relative_deviation",
+    "rank_order_agreement",
+    "score_series",
+]

@@ -1,0 +1,173 @@
+"""Digitized reference curves from the Cuckoo Directory paper's figures.
+
+Values were read off the published figures (Ferdman, Lotfi-Kamran,
+Balet & Falsafi, "Cuckoo Directory: A Scalable Directory for Many-Core
+Systems", HPCA 2011) at roughly the precision a plot digitizer yields —
+they pin the *shape and ordering* of each curve, not instrument-grade
+numbers.  Every experiment driver can score its reproduced series against
+these curves through :func:`get_reference` /
+:meth:`FigureReference.score`, answering "how close to the paper are we?"
+with the metrics of :mod:`repro.analysis.reference.metrics`.
+
+Because the reproduction substitutes synthetic workloads and scaled-down
+systems, rank-order agreement is the headline number; the relative-error
+metrics quantify drift rather than gate it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Tuple
+
+from repro.analysis.reference.metrics import ReferenceScore, score_series
+
+__all__ = ["FigureReference", "REFERENCES", "get_reference"]
+
+
+@dataclass(frozen=True)
+class FigureReference:
+    """One digitized paper figure: labelled series of (point -> value)."""
+
+    figure: str
+    title: str
+    metric: str
+    unit: str
+    series: Mapping[str, Mapping[str, float]]
+
+    def score(
+        self, actual: Mapping[str, Mapping[str, float]]
+    ) -> Dict[str, ReferenceScore]:
+        """Score reproduced series (same shape as :attr:`series`).
+
+        Returns one :class:`ReferenceScore` per reference series present
+        in ``actual``; series the reproduction did not produce are
+        skipped, and each series is scored over the intersection of its
+        points.
+        """
+        scores: Dict[str, ReferenceScore] = {}
+        for label, expected in self.series.items():
+            produced = actual.get(label)
+            if produced:
+                scores[label] = score_series(produced, expected)
+        return scores
+
+
+#: Figure 8 — average directory occupancy relative to the 1x worst case.
+_FIG08_OCCUPANCY = FigureReference(
+    figure="fig08",
+    title="Figure 8 — average directory occupancy (fraction of 1x capacity)",
+    metric="occupancy_vs_worst_case",
+    unit="fraction",
+    series={
+        "Shared L2": {
+            "DB2": 0.54, "Oracle": 0.56, "Qry2": 0.62, "Qry16": 0.64,
+            "Qry17": 0.66, "Apache": 0.52, "Zeus": 0.50, "em3d": 0.78,
+            "ocean": 0.92,
+        },
+        "Private L2": {
+            "DB2": 0.62, "Oracle": 0.64, "Qry2": 0.72, "Qry16": 0.74,
+            "Qry17": 0.76, "Apache": 0.58, "Zeus": 0.56, "em3d": 0.88,
+            "ocean": 0.99,
+        },
+    },
+)
+
+#: Figure 9 — average insertion attempts per directory geometry (workload
+#: averages; the exponential under-provisioning blow-up).
+_FIG09_ATTEMPTS = FigureReference(
+    figure="fig09",
+    title="Figure 9 — average insertion attempts per Cuckoo geometry",
+    metric="average_insertion_attempts",
+    unit="attempts",
+    series={
+        "Shared L2": {
+            "4 x 1024 (2x)": 1.05, "3 x 1024 (1.5x)": 1.15,
+            "4 x 512 (1x)": 1.45, "3 x 512 (3/4x)": 2.6,
+            "4 x 256 (1/2x)": 7.5, "3 x 256 (3/8x)": 16.0,
+        },
+        "Private L2": {
+            "4 x 8192 (2x)": 1.05, "3 x 8192 (1.5x)": 1.2,
+            "8 x 2048 (1x)": 1.6, "3 x 4096 (3/4x)": 2.9,
+            "8 x 1024 (1/2x)": 8.5, "3 x 2048 (3/8x)": 18.0,
+        },
+    },
+)
+
+#: Figure 10 — average insertion attempts of the chosen designs.
+_FIG10_ATTEMPTS = FigureReference(
+    figure="fig10",
+    title="Figure 10 — average insertion attempts of the chosen designs",
+    metric="average_insertion_attempts",
+    unit="attempts",
+    series={
+        "Shared L2": {
+            "DB2": 1.25, "Oracle": 1.28, "Qry2": 1.35, "Qry16": 1.38,
+            "Qry17": 1.40, "Apache": 1.22, "Zeus": 1.20, "em3d": 1.55,
+            "ocean": 1.75,
+        },
+        "Private L2": {
+            "DB2": 1.20, "Oracle": 1.22, "Qry2": 1.32, "Qry16": 1.35,
+            "Qry17": 1.38, "Apache": 1.18, "Zeus": 1.16, "em3d": 1.60,
+            "ocean": 1.85,
+        },
+    },
+)
+
+#: Figure 12 — forced-invalidation rate per organization (suite means).
+#: Sparse 2x worst, Skewed 2x better, Sparse 8x small but non-zero, Cuckoo
+#: near-zero despite the smallest capacity.
+_FIG12_INVALIDATIONS = FigureReference(
+    figure="fig12",
+    title="Figure 12 — forced-invalidation rate per organization (suite mean)",
+    metric="forced_invalidation_rate",
+    unit="fraction of insertions",
+    series={
+        "Shared L2": {
+            "Sparse 2x": 0.080, "Sparse 8x": 0.010,
+            "Skewed 2x": 0.035, "Cuckoo": 0.0002,
+        },
+        "Private L2": {
+            "Sparse 2x": 0.095, "Sparse 8x": 0.012,
+            "Skewed 2x": 0.040, "Cuckoo": 0.0004,
+        },
+    },
+)
+
+#: Figure 13 — the paper's headline efficiency ratios (Section 5.4).
+_FIG13_HEADLINES = FigureReference(
+    figure="fig13",
+    title="Figure 13 — headline power/area ratios vs. the baselines",
+    metric="headline ratios",
+    unit="ratio",
+    series={
+        "Headline": {
+            "tagless_energy_ratio_1024": 80.0,
+            "sparse_area_ratio_1024": 7.0,
+            "duplicate_tag_energy_ratio_16": 16.0,
+            "sparse_area_ratio_16": 6.0,
+        },
+    },
+)
+
+#: Registry: experiment name -> digitized reference.
+REFERENCES: Dict[str, FigureReference] = {
+    reference.figure: reference
+    for reference in (
+        _FIG08_OCCUPANCY,
+        _FIG09_ATTEMPTS,
+        _FIG10_ATTEMPTS,
+        _FIG12_INVALIDATIONS,
+        _FIG13_HEADLINES,
+    )
+}
+
+
+def get_reference(figure: str) -> FigureReference:
+    """The digitized reference for ``figure``; KeyError names the valid set."""
+    try:
+        return REFERENCES[figure]
+    except KeyError:
+        valid = ", ".join(REFERENCES)
+        raise KeyError(
+            f"no digitized reference for {figure!r}; available: {valid}"
+        )

@@ -1,0 +1,139 @@
+"""Error metrics scoring reproduced series against digitized paper curves.
+
+The reproduction substitutes synthetic workloads and scaled-down systems
+for the paper's Flexus traces (see DESIGN.md), so absolute agreement with
+the published figures is not expected — what the metrics quantify is how
+close each series lands and, crucially, whether the paper's *orderings*
+survive:
+
+* ``geomean_relative_error`` — the multiplicative distance per point,
+  summarized the way architecture studies summarize ratios;
+* ``max_relative_deviation`` / ``max_absolute_deviation`` — the single
+  worst point;
+* ``rank_order_agreement`` — Kendall's tau-a over the common points, 1.0
+  when the reproduction orders every pair the way the paper does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+__all__ = [
+    "ReferenceScore",
+    "geomean_relative_error",
+    "max_absolute_deviation",
+    "max_relative_deviation",
+    "rank_order_agreement",
+    "score_series",
+]
+
+#: Relative-error floor for reference values of exactly zero (a reproduced
+#: value is compared against this instead of dividing by zero).
+_ZERO_REFERENCE_FLOOR = 1e-9
+
+
+def _relative_errors(
+    pairs: Sequence[Tuple[float, float]],
+) -> Sequence[float]:
+    """Per-point relative error |actual - expected| / |expected|."""
+    errors = []
+    for actual, expected in pairs:
+        denominator = abs(expected) if expected else _ZERO_REFERENCE_FLOOR
+        errors.append(abs(actual - expected) / denominator)
+    return errors
+
+
+def geomean_relative_error(pairs: Sequence[Tuple[float, float]]) -> float:
+    """Geometric mean of per-point relative errors (zero errors clamped).
+
+    ``pairs`` holds ``(actual, expected)`` tuples.  Matches the clamping
+    convention of :func:`repro.analysis.stats.geometric_mean` so a single
+    exactly-reproduced point does not collapse the summary to zero.
+    """
+    errors = _relative_errors(pairs)
+    if not errors:
+        return 0.0
+    epsilon = 1e-12
+    log_sum = sum(math.log(max(error, epsilon)) for error in errors)
+    return math.exp(log_sum / len(errors))
+
+
+def max_relative_deviation(pairs: Sequence[Tuple[float, float]]) -> float:
+    """The single worst relative error across the points."""
+    errors = _relative_errors(pairs)
+    return max(errors) if errors else 0.0
+
+
+def max_absolute_deviation(pairs: Sequence[Tuple[float, float]]) -> float:
+    """The single worst absolute error across the points."""
+    return max((abs(a - e) for a, e in pairs), default=0.0)
+
+
+def rank_order_agreement(
+    actual: Mapping[str, float], expected: Mapping[str, float]
+) -> float:
+    """Kendall's tau-a between two series over their common keys.
+
+    1.0 means every pair of points is ordered the same way in both series,
+    -1.0 means every pair is reversed; ties in either series contribute
+    zero.  Series with fewer than two common points score 1.0 (there is no
+    ordering to disagree about).
+    """
+    keys = [key for key in expected if key in actual]
+    n = len(keys)
+    if n < 2:
+        return 1.0
+    concordant_minus_discordant = 0
+    for i in range(n):
+        for j in range(i + 1, n):
+            da = actual[keys[i]] - actual[keys[j]]
+            de = expected[keys[i]] - expected[keys[j]]
+            if da * de > 0:
+                concordant_minus_discordant += 1
+            elif da * de < 0:
+                concordant_minus_discordant -= 1
+    return concordant_minus_discordant / (n * (n - 1) / 2)
+
+
+@dataclass(frozen=True)
+class ReferenceScore:
+    """How one reproduced series compares to its digitized paper curve."""
+
+    points: int
+    geomean_relative_error: float
+    max_relative_deviation: float
+    max_absolute_deviation: float
+    rank_order_agreement: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.points} points, geomean rel err "
+            f"{self.geomean_relative_error:.3f}, max dev "
+            f"{self.max_relative_deviation:.3f}, rank agreement "
+            f"{self.rank_order_agreement:+.2f}"
+        )
+
+
+def score_series(
+    actual: Mapping[str, float], expected: Mapping[str, float]
+) -> ReferenceScore:
+    """Score a reproduced series against a reference series.
+
+    Only keys present in *both* series participate (a narrowed sweep — a
+    ``--workloads`` subset, say — is scored on its intersection with the
+    digitized curve).
+    """
+    pairs = [
+        (float(actual[key]), float(expected[key]))
+        for key in expected
+        if key in actual
+    ]
+    return ReferenceScore(
+        points=len(pairs),
+        geomean_relative_error=geomean_relative_error(pairs),
+        max_relative_deviation=max_relative_deviation(pairs),
+        max_absolute_deviation=max_absolute_deviation(pairs),
+        rank_order_agreement=rank_order_agreement(actual, expected),
+    )

@@ -41,12 +41,19 @@ def bin_by(
     """
     if bin_width <= 0:
         raise ValueError("bin_width must be positive")
+    # Number of bins actually covering [lower, upper]; the small tolerance
+    # keeps float fuzz in (upper - lower) / bin_width from adding a bin.
+    num_bins = max(1, math.ceil((upper - lower) / bin_width - 1e-9))
     sums: Dict[int, float] = {}
     counts: Dict[int, int] = {}
     for key, value in pairs:
         if key < lower or key > upper:
             continue
         index = int((key - lower) / bin_width)
+        if index >= num_bins:
+            # A key exactly on the upper edge (e.g. occupancy 1.0) belongs
+            # to the last valid bin, not an overflow bin past ``upper``.
+            index = num_bins - 1
         sums[index] = sums.get(index, 0.0) + value
         counts[index] = counts.get(index, 0) + 1
     result: Dict[float, float] = {}

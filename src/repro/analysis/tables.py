@@ -11,6 +11,10 @@ from typing import Iterable, List, Sequence
 
 __all__ = ["render_table", "format_percentage", "format_ratio"]
 
+#: Cells that stand in for a missing value; they do not stop a column from
+#: being treated as numeric, and follow the column's alignment.
+PLACEHOLDER_CELLS = frozenset({"", "-", "—", "–", "n/a", "N/A"})
+
 
 def format_percentage(value: float, digits: int = 2) -> str:
     """Format a fraction as a percentage string (0.034 -> '3.40%')."""
@@ -29,8 +33,11 @@ def render_table(
 ) -> str:
     """Render rows as an aligned ASCII table.
 
-    Cells are converted with ``str``; numeric alignment is right-justified
-    for cells that look numeric and left-justified otherwise.
+    Cells are converted with ``str``.  Alignment is decided per *column*:
+    a column whose data cells are all numeric-looking (placeholders such
+    as ``-`` or ``—`` permitted) is right-justified, any other column is
+    left-justified — a stray placeholder therefore no longer produces a
+    ragged column.  Header cells keep their own per-cell alignment.
     """
     materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
     header_row = [str(h) for h in headers]
@@ -54,10 +61,24 @@ def render_table(
         except ValueError:
             return False
 
-    def format_row(row: Sequence[str]) -> str:
+    def column_numeric(column: int) -> bool:
+        has_number = False
+        for row in materialized:
+            cell = row[column].strip()
+            if cell in PLACEHOLDER_CELLS:
+                continue
+            if not looks_numeric(cell):
+                return False
+            has_number = True
+        return has_number
+
+    numeric_columns = [column_numeric(index) for index in range(num_columns)]
+
+    def format_row(row: Sequence[str], per_cell: bool = False) -> str:
         cells = []
         for index, cell in enumerate(row):
-            if looks_numeric(cell):
+            numeric = looks_numeric(cell) if per_cell else numeric_columns[index]
+            if numeric:
                 cells.append(cell.rjust(widths[index]))
             else:
                 cells.append(cell.ljust(widths[index]))
@@ -68,7 +89,7 @@ def render_table(
     if title:
         lines.append(title)
     lines.append(separator)
-    lines.append(format_row(header_row))
+    lines.append(format_row(header_row, per_cell=True))
     lines.append(separator)
     for row in materialized:
         lines.append(format_row(row))

@@ -39,6 +39,7 @@ from repro.engine.runner import (
     EngineError,
     GridReport,
     ParallelRunner,
+    StoreOnlyRunner,
     default_workers,
     serial_runner,
 )
@@ -49,7 +50,12 @@ from repro.engine.spec import (
     RunGrid,
     RunSpec,
 )
-from repro.engine.store import ResultStore, default_store_path
+from repro.engine.store import (
+    ResultStore,
+    default_store_path,
+    iter_store_records,
+    iter_store_results,
+)
 
 __all__ = [
     "SPEC_VERSION",
@@ -60,10 +66,13 @@ __all__ = [
     "RunResult",
     "RunFailure",
     "ResultStore",
+    "iter_store_records",
+    "iter_store_results",
     "default_store_path",
     "EngineError",
     "GridReport",
     "ParallelRunner",
+    "StoreOnlyRunner",
     "default_workers",
     "serial_runner",
     "execute_spec",

@@ -1,7 +1,7 @@
 """Unified command line for the experiment engine.
 
 Installed as the ``repro-run`` console script and runnable as
-``python -m repro.engine``.  Six subcommands:
+``python -m repro.engine``.  Eight subcommands:
 
 ``list``
     The available experiments and whether they are simulation-based.
@@ -21,6 +21,15 @@ Installed as the ``repro-run`` console script and runnable as
 ``mix``
     Run multi-programmed mix scenarios ("8xApache+8xocean") through the
     engine, sweeping configurations and directory organizations.
+``report``
+    Render any experiment from *cached* results — nothing is simulated —
+    as an ASCII table, CSV or JSON, optionally scored against the
+    digitized paper curves (``--reference``); or dump/aggregate the whole
+    store (``--all``).
+``compare``
+    Diff two result stores or two ``BENCH_*.json`` records metric-by-
+    metric with direction-aware thresholds; ``--fail-on-regression``
+    makes regressions exit non-zero for CI gating.
 ``cache``
     Inspect, compact or clear the content-addressed result store.
 
@@ -38,6 +47,12 @@ Examples
     repro-run trace replay traces/oracle.npz
     repro-run trace replay traces/oracle.npz --sample-measure 1000 --sample-skip 9000
     repro-run mix 8xApache+8xocean 8xOracle+8xQry17 --scale 32
+    repro-run report fig08 --store /tmp/results.jsonl
+    repro-run report fig10 --reference
+    repro-run report mix --format csv --out mix.csv
+    repro-run report --all --group-by workload,organization
+    repro-run compare baseline.jsonl candidate.jsonl --fail-on-regression
+    repro-run compare BENCH_hot_path.json /tmp/BENCH_hot_path.json --threshold 0.2
     repro-run cache
     repro-run cache compact
     repro-run cache clear
@@ -283,6 +298,90 @@ def build_parser() -> argparse.ArgumentParser:
     mix_parser.add_argument("--scale", type=int, default=None)
     mix_parser.add_argument("--measure-accesses", type=int, default=None)
     _add_engine_options(mix_parser)
+
+    report_parser = subparsers.add_parser(
+        "report",
+        help="render an experiment (or the whole store) from cached results",
+    )
+    report_parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        metavar="EXPERIMENT",
+        help="experiment name (see 'repro-run list'); omit with --all",
+    )
+    report_parser.add_argument(
+        "--all",
+        action="store_true",
+        help="report over every record in the store instead of one experiment",
+    )
+    report_parser.add_argument(
+        "--group-by",
+        type=_csv,
+        default=None,
+        metavar="FIELD,...",
+        help="with --all: aggregate records over these spec fields "
+        "(mean/geomean of the headline metrics per group)",
+    )
+    report_parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="ascii",
+        choices=("ascii", "csv", "json"),
+        help="output format (default ascii)",
+    )
+    report_parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="append the paper-reference error metrics (digitized figures)",
+    )
+    report_parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the report to a file"
+    )
+    report_parser.add_argument("--store", default=None, metavar="PATH")
+    _add_sweep_options(report_parser)
+
+    compare_parser = subparsers.add_parser(
+        "compare",
+        help="diff two result stores or two BENCH_*.json records",
+    )
+    compare_parser.add_argument("baseline", help="baseline store / benchmark file")
+    compare_parser.add_argument("candidate", help="candidate store / benchmark file")
+    compare_parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.05,
+        metavar="FRACTION",
+        help="relative change counting as a regression/improvement (default 0.05)",
+    )
+    compare_parser.add_argument(
+        "--metrics",
+        type=_csv,
+        default=None,
+        metavar="M,...",
+        help="restrict the comparison to these metrics (store fields or "
+        "benchmark leaf-name substrings)",
+    )
+    compare_parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any gated metric regressed (CI gating)",
+    )
+    compare_parser.add_argument(
+        "--show-all",
+        action="store_true",
+        help="list every compared entry, not only the changed ones",
+    )
+    compare_parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="ascii",
+        choices=("ascii", "json"),
+        help="output format (default ascii)",
+    )
+    compare_parser.add_argument(
+        "--out", default=None, metavar="PATH", help="write the comparison to a file"
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect, compact or clear the result store"
@@ -754,6 +853,197 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _deliver(text: str, out: Optional[str]) -> None:
+    """Print a report, or write it to ``--out`` (noting where it went)."""
+    if out is None:
+        print(text)
+        return
+    from pathlib import Path
+
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(text + ("\n" if not text.endswith("\n") else ""))
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _format_flat_cell(value: object) -> str:
+    return f"{value:.4f}" if isinstance(value, float) else str(value)
+
+
+def _report_store_path(args: argparse.Namespace) -> str:
+    return args.store if args.store else str(default_store_path())
+
+
+def _cmd_report_all(args: argparse.Namespace) -> int:
+    """``repro-run report --all``: the whole store, flat or aggregated."""
+    from pathlib import Path
+
+    from repro.analysis.frame import Column, SweepFrame
+    from repro.engine.store import iter_store_records
+
+    store_path = _report_store_path(args)
+    if not Path(store_path).exists():
+        print(f"no result store at {store_path}", file=sys.stderr)
+        return 2
+    payloads = (payload for _key, payload in iter_store_records(store_path))
+    if args.group_by:
+        frame = SweepFrame.aggregate(
+            payloads,
+            group_by=args.group_by,
+            metrics={
+                "points": ("workload", "count"),
+                "hit_rate": ("cache_hit_rate", "mean"),
+                "occupancy": ("occupancy_vs_worst_case", "mean"),
+                "avg_attempts": ("average_insertion_attempts", "mean"),
+                "geomean_attempts": ("average_insertion_attempts", "geomean"),
+                "invalidation_rate": ("forced_invalidation_rate", "mean"),
+            },
+        )
+        title = f"Store aggregate by {', '.join(args.group_by)} ({store_path})"
+    else:
+        frame = SweepFrame.from_records(
+            payloads,
+            fields=(
+                "workload", "tracked_level", "organization", "ways",
+                "provisioning", "seed", "scale", "measure_accesses",
+                "cache_hit_rate", "occupancy_vs_worst_case",
+                "average_insertion_attempts", "forced_invalidation_rate",
+            ),
+        )
+        title = f"Store contents ({store_path})"
+    if args.fmt == "csv":
+        _deliver(frame.to_csv(), args.out)
+    elif args.fmt == "json":
+        _deliver(frame.to_json(), args.out)
+    else:
+        columns = [
+            Column(field, field, _format_flat_cell) for field in frame.fields()
+        ]
+        _deliver(frame.render(columns, title=title), args.out)
+    if args.reference:
+        print(
+            "--reference applies to figure experiments, not --all; ignored",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.analysis.report import (
+        experiment_series,
+        reference_scores,
+        reference_summary,
+        series_frame,
+    )
+    from repro.engine.registry import EXPERIMENTS, run_experiment
+    from repro.engine.runner import EngineError, StoreOnlyRunner
+
+    if args.all and args.experiment:
+        print("give an experiment name or --all, not both", file=sys.stderr)
+        return 2
+    if args.all:
+        return _cmd_report_all(args)
+    if not args.experiment:
+        print(
+            "nothing to report: name an experiment (see 'repro-run list') "
+            "or pass --all",
+            file=sys.stderr,
+        )
+        return 2
+    name = args.experiment
+    if name not in EXPERIMENTS:
+        print(
+            f"unknown experiment {name!r} "
+            f"(expected: {', '.join(EXPERIMENTS)})",
+            file=sys.stderr,
+        )
+        return 2
+    workload_error = _unknown_workloads_message(args.workloads)
+    if workload_error:
+        print(workload_error, file=sys.stderr)
+        return 2
+
+    experiment = EXPERIMENTS[name]
+    runner = None
+    if experiment.simulated:
+        # Reports never simulate: points must already be in the store.
+        runner = StoreOnlyRunner(ResultStore(_report_store_path(args)))
+    try:
+        result, table = run_experiment(
+            name,
+            runner=runner,
+            workloads=args.workloads,
+            scale=args.scale,
+            measure_accesses=args.measure_accesses,
+            seed=args.seed,
+        )
+    except EngineError as exc:
+        print(f"{name}: {exc}", file=sys.stderr)
+        return 1
+
+    if args.fmt == "csv":
+        if args.reference:
+            print(
+                "--reference is not representable in the flat CSV; use "
+                "--format ascii or json for the error metrics (ignored)",
+                file=sys.stderr,
+            )
+        frame = series_frame(experiment_series(name, result))
+        _deliver(frame.to_csv(fields=("series", "point", "value")), args.out)
+    elif args.fmt == "json":
+        payload = {
+            "experiment": name,
+            "title": experiment.title,
+            "series": experiment_series(name, result),
+        }
+        if args.reference:
+            scores = reference_scores(name, result)
+            if scores is not None:
+                payload["reference"] = {
+                    label: vars(score).copy() for label, score in scores.items()
+                }
+        _deliver(json_module.dumps(payload, indent=2), args.out)
+    else:
+        sections = [table]
+        if args.reference:
+            summary = reference_summary(name, result)
+            if summary is None:
+                print(f"no digitized paper reference for {name}", file=sys.stderr)
+            else:
+                sections.append(summary)
+        _deliver("\n\n".join(sections), args.out)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.report import compare_files
+
+    try:
+        report = compare_files(
+            args.baseline,
+            args.candidate,
+            threshold=args.threshold,
+            metrics=args.metrics,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.fmt == "json":
+        _deliver(report.to_json(), args.out)
+    else:
+        _deliver(report.render(show_all=args.show_all), args.out)
+    if args.fail_on_regression and not report.ok:
+        print(
+            f"FAIL: {len(report.regressions)} metric(s) regressed beyond "
+            f"{report.threshold:.1%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     flag_action = "clear" if args.clear else ("compact" if args.compact else None)
     if flag_action and args.action != "show" and flag_action != args.action:
@@ -792,6 +1082,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_trace(args)
     if args.command == "mix":
         return _cmd_mix(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
     if args.command == "cache":
         return _cmd_cache(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -23,7 +23,14 @@ from repro.engine.results import RunFailure, RunResult
 from repro.engine.spec import RunGrid, RunSpec
 from repro.engine.store import ResultStore
 
-__all__ = ["EngineError", "GridReport", "ParallelRunner", "default_workers", "serial_runner"]
+__all__ = [
+    "EngineError",
+    "GridReport",
+    "ParallelRunner",
+    "StoreOnlyRunner",
+    "default_workers",
+    "serial_runner",
+]
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
@@ -197,6 +204,38 @@ class ParallelRunner:
         with context.Pool(processes=pool_size) as pool:
             for outcome in pool.imap_unordered(execute_payload, payloads, chunksize=1):
                 self._record_outcome(outcome, report, total)
+
+
+class StoreOnlyRunner(ParallelRunner):
+    """A runner that answers exclusively from the result store.
+
+    Grid points already cached resolve normally; anything else becomes a
+    :class:`RunFailure` instead of a simulation.  This is what lets
+    ``repro-run report`` re-render any experiment from cached results with
+    a hard guarantee that nothing is re-simulated.
+    """
+
+    def __init__(self, store: ResultStore,
+                 progress: Optional[ProgressCallback] = None) -> None:
+        super().__init__(workers=1, store=store, progress=progress)
+
+    def _run_serial(
+        self, pending: List[RunSpec], report: GridReport, total: int
+    ) -> None:
+        for spec in pending:
+            report.failures[spec.key()] = RunFailure(
+                spec=spec,
+                error=(
+                    "not in the result store; simulate it first with "
+                    "'repro-run run' or 'repro-run sweep'"
+                ),
+            )
+            self._emit("failed", report, total, spec)
+
+    def _run_pool(
+        self, pending: List[RunSpec], report: GridReport, total: int
+    ) -> None:  # pragma: no cover - workers pinned to 1 in __init__
+        self._run_serial(pending, report, total)
 
 
 def serial_runner() -> ParallelRunner:

@@ -16,12 +16,18 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
 
-__all__ = ["CompactionReport", "ResultStore", "default_store_path"]
+__all__ = [
+    "CompactionReport",
+    "ResultStore",
+    "default_store_path",
+    "iter_store_records",
+    "iter_store_results",
+]
 
 #: Environment variable overriding the default on-disk store location.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
@@ -53,6 +59,60 @@ def default_store_path() -> Path:
     if override:
         return Path(override)
     return Path.home() / ".cache" / "repro-cuckoo" / "results.jsonl"
+
+
+def iter_store_records(
+    path: Union[str, Path],
+) -> Iterator[Tuple[str, Dict[str, object]]]:
+    """Stream the live ``(key, result)`` records of a store file.
+
+    Reload semantics match :class:`ResultStore` (the last record per key
+    wins, corrupt lines are tolerated) but the file is never materialized:
+    a first pass indexes the byte offset of each key's winning line, a
+    second pass seeks to those offsets and parses one record at a time, so
+    memory stays proportional to the number of distinct keys rather than
+    the sweep size.  Records are yielded in file order of their winning
+    line (i.e. write order), which aggregation downstream relies on for
+    deterministic output.
+    """
+    path = Path(path)
+    if not path.exists():
+        return
+    winners: Dict[str, int] = {}
+    offset = 0
+    with path.open("rb") as handle:
+        for raw in handle:
+            line_offset = offset
+            offset += len(raw)
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line.decode("utf-8"))
+                key = record["key"]
+                record["result"]
+            except (json.JSONDecodeError, UnicodeDecodeError, KeyError, TypeError):
+                continue
+            winners[key] = line_offset
+    with path.open("rb") as handle:
+        for key, line_offset in sorted(winners.items(), key=lambda item: item[1]):
+            handle.seek(line_offset)
+            record = json.loads(handle.readline().decode("utf-8"))
+            yield key, record["result"]
+
+
+def iter_store_results(path: Union[str, Path]) -> Iterator[RunResult]:
+    """Stream the live records of a store file as :class:`RunResult` values.
+
+    Records whose payload no longer matches the current :class:`RunResult`
+    schema are skipped, mirroring the constructor's tolerance for stale
+    lines.
+    """
+    for _key, payload in iter_store_records(path):
+        try:
+            yield RunResult.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            continue
 
 
 class ResultStore:
@@ -112,13 +172,20 @@ class ResultStore:
     # -- updates -------------------------------------------------------------
     def put(self, result: RunResult) -> None:
         """Persist ``result``; a key already present is overwritten in memory
-        and appended on disk (last record wins on reload)."""
+        and appended on disk (last record wins on reload).
+
+        The append is flushed and fsynced before the write counts as
+        durable — the store is shared across experiments and processes, so
+        a result it reported as written must survive a crash.
+        """
         key = result.spec.key()
         record = result.to_dict()
         self._records[key] = record
         self._path.parent.mkdir(parents=True, exist_ok=True)
         with self._path.open("a", encoding="utf-8") as handle:
             handle.write(json.dumps({"key": key, "result": record}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
         self.writes += 1
 
     def clear(self) -> None:
@@ -135,6 +202,11 @@ class ResultStore:
         key) leaves superseded duplicate lines behind; compaction rewrites
         the file keeping only the last record per key and reports how many
         lines and bytes that recovered.
+
+        The rewrite is crash-safe: records are written to a sibling temp
+        file, fsynced, and :func:`os.replace`\\ d over the live file, so a
+        crash mid-compact leaves the original store intact rather than a
+        truncated cache.
         """
         bytes_before = self._path.stat().st_size if self._path.exists() else 0
         lines_before = 0
@@ -151,11 +223,20 @@ class ResultStore:
                 bytes_after=0,
             )
         self._path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = self._path.with_suffix(".tmp")
-        with tmp.open("w", encoding="utf-8") as handle:
-            for key, record in self._records.items():
-                handle.write(json.dumps({"key": key, "result": record}) + "\n")
-        tmp.replace(self._path)
+        tmp = self._path.with_name(self._path.name + ".tmp")
+        try:
+            with tmp.open("w", encoding="utf-8") as handle:
+                for key, record in self._records.items():
+                    handle.write(json.dumps({"key": key, "result": record}) + "\n")
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self._path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
         bytes_after = self._path.stat().st_size
         return CompactionReport(
             entries_kept=len(self._records),

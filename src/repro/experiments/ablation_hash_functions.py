@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import Column, SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.config import CacheLevel
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
@@ -109,16 +110,25 @@ def run(
 
 
 def format_table(results: Dict[str, HashAblationPoint]) -> str:
-    headers = ["Design point", "Hash family", "Avg insertion attempts", "Invalidation rate"]
-    rows = [
-        [
-            f"{point.provisioning:g}x",
-            point.hash_family,
-            f"{point.average_insertion_attempts:.2f}",
-            format_percentage(point.forced_invalidation_rate, digits=3),
-        ]
+    frame = SweepFrame.from_rows(
+        {
+            "design": f"{point.provisioning:g}x",
+            "family": point.hash_family,
+            "attempts": point.average_insertion_attempts,
+            "invalidations": point.forced_invalidation_rate,
+        }
         for point in results.values()
-    ]
-    return render_table(
-        headers, rows, title="Section 5.5: hash function selection ablation"
+    )
+    return frame.render(
+        [
+            Column("Design point", "design"),
+            Column("Hash family", "family"),
+            Column("Avg insertion attempts", "attempts", lambda value: f"{value:.2f}"),
+            Column(
+                "Invalidation rate",
+                "invalidations",
+                lambda value: format_percentage(value, digits=3),
+            ),
+        ],
+        title="Section 5.5: hash function selection ablation",
     )

@@ -13,14 +13,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.energy.model import (
     FIGURE4_ORGANIZATIONS,
     ScalingScenario,
     scaling_table,
 )
 
-__all__ = ["ScalabilityResult", "run", "format_table", "DEFAULT_CORE_COUNTS"]
+__all__ = [
+    "ScalabilityResult",
+    "run",
+    "format_table",
+    "scaling_sections",
+    "DEFAULT_CORE_COUNTS",
+]
 
 DEFAULT_CORE_COUNTS = (16, 32, 64, 128, 256, 512, 1024)
 
@@ -59,30 +66,44 @@ def run(
     return results
 
 
-def format_table(results: Dict[str, ScalabilityResult]) -> str:
-    """Render the energy and area panels for every scenario."""
+def scaling_sections(
+    results: Dict[str, ScalabilityResult], figure_label: str
+) -> List[str]:
+    """Energy and area pivot tables per scenario (shared with Figure 13)."""
     sections: List[str] = []
     for scenario_name, result in results.items():
         for metric, reference in (
             ("energy", "1MB L2 tag lookup"),
             ("area", "1MB L2 data array"),
         ):
-            headers = ["Cores"] + list(result.series.keys())
-            rows = []
-            for cores in result.core_counts:
-                row: List[object] = [cores]
-                for organization in result.series:
-                    value = result.series[organization][cores][metric]
-                    row.append(format_percentage(value, digits=1))
-                rows.append(row)
+            frame = SweepFrame.from_rows(
+                {
+                    "cores": cores,
+                    "organization": organization,
+                    "value": result.series[organization][cores][metric],
+                }
+                for organization in result.series
+                for cores in result.core_counts
+            )
             sections.append(
-                render_table(
-                    headers,
-                    rows,
+                frame.pivot(
+                    index="cores",
+                    columns="organization",
+                    value="value",
+                    index_label="Cores",
+                    index_order=result.core_counts,
+                    column_order=list(result.series.keys()),
+                    fmt=lambda value: format_percentage(value, digits=1),
+                ).render(
                     title=(
-                        f"Figure 4 ({scenario_name}): per-core directory {metric} "
-                        f"relative to {reference}"
-                    ),
+                        f"{figure_label} ({scenario_name}): per-core directory "
+                        f"{metric} relative to {reference}"
+                    )
                 )
             )
-    return "\n\n".join(sections)
+    return sections
+
+
+def format_table(results: Dict[str, ScalabilityResult]) -> str:
+    """Render the energy and area panels for every scenario."""
+    return "\n\n".join(scaling_sections(results, "Figure 4"))

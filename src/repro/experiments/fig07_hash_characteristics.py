@@ -22,8 +22,9 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.frame import SweepFrame
 from repro.analysis.stats import bin_by
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.tables import format_percentage
 from repro.core.cuckoo_hash import CuckooHashTable
 from repro.hashing.strong import StrongHashFamily
 
@@ -126,25 +127,28 @@ def format_table(results: Dict[int, HashCharacteristics]) -> str:
     """Render both panels of Figure 7 as one table."""
     arities = sorted(results)
     all_bins = sorted({b for r in results.values() for b in r.occupancy_bins})
-    headers = ["Occupancy"]
-    for arity in arities:
-        headers.append(f"{arity}-ary attempts")
-    for arity in arities:
-        headers.append(f"{arity}-ary failure")
-    rows = []
-    for occupancy in all_bins:
-        row: List[object] = [f"{occupancy:.3f}"]
-        for arity in arities:
-            series = results[arity].as_series()
-            value = series.get(occupancy)
-            row.append(f"{value[0]:.2f}" if value else "-")
-        for arity in arities:
-            series = results[arity].as_series()
-            value = series.get(occupancy)
-            row.append(format_percentage(value[1]) if value else "-")
-        rows.append(row)
-    return render_table(
-        headers,
-        rows,
-        title="Figure 7: d-ary cuckoo hash insertion attempts and failure probability",
+    # Cells are pre-formatted because the two panels use different number
+    # formats; the pivot then only places them, leaving absent
+    # (occupancy, column) combinations as "-" placeholders.
+    frame = SweepFrame.from_rows(
+        {"occupancy": f"{occupancy:.3f}", "column": column, "cell": cell}
+        for arity in arities
+        for occupancy, (attempts, failures) in results[arity].as_series().items()
+        for column, cell in (
+            (f"{arity}-ary attempts", f"{attempts:.2f}"),
+            (f"{arity}-ary failure", format_percentage(failures)),
+        )
+    )
+    column_order = [f"{arity}-ary attempts" for arity in arities] + [
+        f"{arity}-ary failure" for arity in arities
+    ]
+    return frame.pivot(
+        index="occupancy",
+        columns="column",
+        value="cell",
+        index_label="Occupancy",
+        index_order=[f"{occupancy:.3f}" for occupancy in all_bins],
+        column_order=column_order,
+    ).render(
+        title="Figure 7: d-ary cuckoo hash insertion attempts and failure probability"
     )

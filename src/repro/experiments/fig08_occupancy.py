@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.workloads.suite import WORKLOAD_NAMES
@@ -88,16 +89,17 @@ def run(
 
 
 def format_table(result: OccupancyResult) -> str:
-    headers = ["Workload", "Shared L2", "Private L2"]
-    rows: List[List[object]] = []
-    for name in result.shared_l2:
-        rows.append(
-            [
-                name,
-                format_percentage(result.shared_l2[name], digits=1),
-                format_percentage(result.private_l2.get(name, 0.0), digits=1),
-            ]
-        )
-    return render_table(
-        headers, rows, title="Figure 8: average directory occupancy (vs. 1x capacity)"
+    frame = SweepFrame.from_rows(
+        {"workload": name, "config": config, "occupancy": value}
+        for config, values in result.configurations().items()
+        for name, value in values.items()
     )
+    return frame.pivot(
+        index="workload",
+        columns="config",
+        value="occupancy",
+        index_label="Workload",
+        column_order=("Shared L2", "Private L2"),
+        default=0.0,
+        fmt=lambda value: format_percentage(value, digits=1),
+    ).render(title="Figure 8: average directory occupancy (vs. 1x capacity)")

@@ -13,8 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.stats import geometric_mean
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import Column, SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.workloads.suite import WORKLOAD_NAMES
@@ -126,19 +126,25 @@ def _sweep(
             )
             attempts[name] = result.average_insertion_attempts
             invalidations[name] = result.forced_invalidation_rate
-        mean_attempts = (
-            sum(attempts.values()) / len(attempts) if attempts else 0.0
-        )
-        mean_invalidations = (
-            sum(invalidations.values()) / len(invalidations) if invalidations else 0.0
-        )
+        # One streaming reduction per geometry; the accumulators add in
+        # workload order, so the means match the former sum()/len() loops
+        # bit-for-bit.
+        summary = SweepFrame.aggregate(
+            (
+                {"attempts": attempts[name], "invalidations": invalidations[name]}
+                for name in attempts
+            ),
+            group_by=(),
+            metrics={"attempts": "mean", "invalidations": "mean"},
+        ).rows()
+        means = summary[0] if summary else {"attempts": 0.0, "invalidations": 0.0}
         points.append(
             ProvisioningPoint(
                 label=label,
                 ways=ways,
                 provisioning=provisioning,
-                average_insertion_attempts=mean_attempts,
-                forced_invalidation_rate=mean_invalidations,
+                average_insertion_attempts=means["attempts"],
+                forced_invalidation_rate=means["invalidations"],
                 per_workload_attempts=attempts,
                 per_workload_invalidation_rate=invalidations,
             )
@@ -167,21 +173,24 @@ def run(
 
 
 def format_table(result: ProvisioningResult) -> str:
+    columns = [
+        Column("Geometry", "label"),
+        Column("Avg insertion attempts", "attempts", lambda value: f"{value:.2f}"),
+        Column("Forced invalidation rate", "invalidations", format_percentage),
+    ]
     sections: List[str] = []
     for config_name, points in result.configurations().items():
-        headers = ["Geometry", "Avg insertion attempts", "Forced invalidation rate"]
-        rows = [
-            [
-                point.label,
-                f"{point.average_insertion_attempts:.2f}",
-                format_percentage(point.forced_invalidation_rate),
-            ]
+        frame = SweepFrame.from_rows(
+            {
+                "label": point.label,
+                "attempts": point.average_insertion_attempts,
+                "invalidations": point.forced_invalidation_rate,
+            }
             for point in points
-        ]
+        )
         sections.append(
-            render_table(
-                headers,
-                rows,
+            frame.render(
+                columns,
                 title=f"Figure 9 ({config_name}): Cuckoo directory sizing sweep",
             )
         )

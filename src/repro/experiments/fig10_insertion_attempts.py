@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.tables import render_table
+from repro.analysis.frame import SweepFrame
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.workloads.suite import WORKLOAD_NAMES
@@ -87,19 +87,25 @@ def run(
     return InsertionAttemptsResult(shared_l2=shared, private_l2=private)
 
 
+#: Column headers naming the Section 5.3 designs behind each configuration.
+_CONFIG_LABELS = {
+    "Shared L2": "Shared L2 (4-way, 1x)",
+    "Private L2": "Private L2 (3-way, 1.5x)",
+}
+
+
 def format_table(result: InsertionAttemptsResult) -> str:
-    headers = ["Workload", "Shared L2 (4-way, 1x)", "Private L2 (3-way, 1.5x)"]
-    rows: List[List[object]] = []
-    for name in result.shared_l2:
-        rows.append(
-            [
-                name,
-                f"{result.shared_l2[name]:.2f}",
-                f"{result.private_l2.get(name, 0.0):.2f}",
-            ]
-        )
-    return render_table(
-        headers,
-        rows,
-        title="Figure 10: Cuckoo directory average insertion attempts",
+    frame = SweepFrame.from_rows(
+        {"workload": name, "config": _CONFIG_LABELS[config], "attempts": value}
+        for config, values in result.configurations().items()
+        for name, value in values.items()
     )
+    return frame.pivot(
+        index="workload",
+        columns="config",
+        value="attempts",
+        index_label="Workload",
+        column_order=tuple(_CONFIG_LABELS.values()),
+        default=0.0,
+        fmt=lambda value: f"{value:.2f}",
+    ).render(title="Figure 10: Cuckoo directory average insertion attempts")

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.experiments.fig10_insertion_attempts import (
@@ -98,19 +99,21 @@ def run(
 
 def format_table(result: WorstCaseResult) -> str:
     labels = list(result.distributions)
-    headers = ["Insertion attempts"] + labels
     max_attempt = max(
         (max(d) for d in result.distributions.values() if d), default=1
     )
-    rows: List[List[object]] = []
-    for attempts in range(1, max_attempt + 1):
-        row: List[object] = [attempts]
-        for label in labels:
-            fraction = result.distributions[label].get(attempts, 0.0)
-            row.append(format_percentage(fraction))
-        rows.append(row)
-    return render_table(
-        headers,
-        rows,
-        title="Figure 11: worst-case insertion attempt distributions",
+    frame = SweepFrame.from_rows(
+        {"attempts": attempts, "case": label, "fraction": fraction}
+        for label, distribution in result.distributions.items()
+        for attempts, fraction in distribution.items()
     )
+    return frame.pivot(
+        index="attempts",
+        columns="case",
+        value="fraction",
+        index_label="Insertion attempts",
+        index_order=range(1, max_attempt + 1),
+        column_order=labels,
+        default=0.0,
+        fmt=format_percentage,
+    ).render(title="Figure 11: worst-case insertion attempt distributions")

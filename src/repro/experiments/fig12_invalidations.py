@@ -23,7 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 from repro.workloads.suite import WORKLOAD_NAMES
@@ -136,20 +137,22 @@ def run(
 def format_table(result: InvalidationResult) -> str:
     sections: List[str] = []
     for config_name, rates in result.configurations().items():
-        organizations = list(rates)
-        workload_names = list(next(iter(rates.values()), {}))
-        headers = ["Workload"] + organizations
-        rows: List[List[object]] = []
-        for name in workload_names:
-            row: List[object] = [name]
-            for org in organizations:
-                row.append(format_percentage(rates[org].get(name, 0.0), digits=3))
-            rows.append(row)
+        frame = SweepFrame.from_rows(
+            {"workload": name, "organization": org, "rate": rate}
+            for org, per_workload in rates.items()
+            for name, rate in per_workload.items()
+        )
         sections.append(
-            render_table(
-                headers,
-                rows,
-                title=f"Figure 12 ({config_name}): directory forced-invalidation rates",
+            frame.pivot(
+                index="workload",
+                columns="organization",
+                value="rate",
+                index_label="Workload",
+                column_order=list(rates),
+                default=0.0,
+                fmt=lambda value: format_percentage(value, digits=3),
+            ).render(
+                title=f"Figure 12 ({config_name}): directory forced-invalidation rates"
             )
         )
     return "\n\n".join(sections)

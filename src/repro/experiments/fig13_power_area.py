@@ -22,13 +22,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import Column, SweepFrame
 from repro.energy.model import (
     FIGURE13_ORGANIZATIONS,
     ScalingScenario,
     scaling_table,
 )
-from repro.experiments.fig04_scalability import DEFAULT_CORE_COUNTS, ScalabilityResult
+from repro.experiments.fig04_scalability import (
+    DEFAULT_CORE_COUNTS,
+    ScalabilityResult,
+    scaling_sections,
+)
 
 __all__ = ["run", "format_table", "headline_ratios"]
 
@@ -100,33 +104,17 @@ def headline_ratios(results: Dict[str, ScalabilityResult]) -> Dict[str, float]:
 
 
 def format_table(results: Dict[str, ScalabilityResult]) -> str:
-    sections: List[str] = []
-    for scenario_name, result in results.items():
-        for metric, reference in (
-            ("energy", "1MB L2 tag lookup"),
-            ("area", "1MB L2 data array"),
-        ):
-            headers = ["Cores"] + list(result.series.keys())
-            rows = []
-            for cores in result.core_counts:
-                row: List[object] = [cores]
-                for organization in result.series:
-                    value = result.series[organization][cores][metric]
-                    row.append(format_percentage(value, digits=1))
-                rows.append(row)
-            sections.append(
-                render_table(
-                    headers,
-                    rows,
-                    title=(
-                        f"Figure 13 ({scenario_name}): per-core directory {metric} "
-                        f"relative to {reference}"
-                    ),
-                )
-            )
-    ratios = headline_ratios(results)
-    ratio_rows = [[key, f"{value:.1f}x"] for key, value in ratios.items()]
+    sections: List[str] = scaling_sections(results, "Figure 13")
+    ratios = SweepFrame.from_rows(
+        {"comparison": key, "value": value}
+        for key, value in headline_ratios(results).items()
+    )
     sections.append(
-        render_table(["Headline comparison", "Model value"], ratio_rows)
+        ratios.render(
+            [
+                Column("Headline comparison", "comparison"),
+                Column("Model value", "value", lambda value: f"{value:.1f}x"),
+            ]
+        )
     )
     return "\n\n".join(sections)

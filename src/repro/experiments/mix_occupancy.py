@@ -22,7 +22,8 @@ from dataclasses import dataclass
 from itertools import combinations
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.tables import format_percentage, render_table
+from repro.analysis.frame import Column, SweepFrame
+from repro.analysis.tables import format_percentage
 from repro.engine import ParallelRunner, RunGrid, RunSpec, serial_runner
 from repro.experiments import common
 
@@ -131,26 +132,25 @@ def run(
 
 
 def format_table(result: MixOccupancyResult) -> str:
-    headers = [
-        "Scenario",
-        "Shared-L2 occ.", "Shared-L2 inv.",
-        "Private-L2 occ.", "Private-L2 inv.",
-    ]
-    rows: List[List[object]] = []
-    for label, per_level in result.scenarios.items():
-        shared = per_level["Shared L2"]
-        private = per_level["Private L2"]
-        rows.append(
-            [
-                label,
-                format_percentage(shared[0], digits=1),
-                format_percentage(shared[1], digits=3),
-                format_percentage(private[0], digits=1),
-                format_percentage(private[1], digits=3),
-            ]
-        )
-    return render_table(
-        headers,
-        rows,
+    frame = SweepFrame.from_rows(
+        {
+            "scenario": label,
+            "shared_occupancy": per_level["Shared L2"][0],
+            "shared_invalidations": per_level["Shared L2"][1],
+            "private_occupancy": per_level["Private L2"][0],
+            "private_invalidations": per_level["Private L2"][1],
+        }
+        for label, per_level in result.scenarios.items()
+    )
+    occupancy = lambda value: format_percentage(value, digits=1)  # noqa: E731
+    invalidations = lambda value: format_percentage(value, digits=3)  # noqa: E731
+    return frame.render(
+        [
+            Column("Scenario", "scenario"),
+            Column("Shared-L2 occ.", "shared_occupancy", occupancy),
+            Column("Shared-L2 inv.", "shared_invalidations", invalidations),
+            Column("Private-L2 occ.", "private_occupancy", occupancy),
+            Column("Private-L2 inv.", "private_invalidations", invalidations),
+        ],
         title="Mix sweep: directory occupancy and forced invalidations (Cuckoo 4w 1x)",
     )

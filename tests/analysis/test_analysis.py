@@ -43,6 +43,32 @@ class TestRenderTable:
         with pytest.raises(ValueError):
             render_table(["A", "B"], [["only-one"]])
 
+    def test_placeholder_follows_numeric_column_alignment(self):
+        # A '—' standing in for a missing baseline must not flip its cell
+        # to left-alignment inside an otherwise-numeric column.
+        text = render_table(
+            ["Metric"], [["1.25"], ["—"], ["12345.00"]]
+        )
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert lines[2] == "|        — |"
+
+    def test_mixed_text_column_is_uniformly_left_aligned(self):
+        # A genuinely textual cell ("failed") makes the whole column
+        # left-aligned — per-column, never ragged per-cell.
+        text = render_table(
+            ["Value"], [["1.25"], ["failed"], ["12345.00"]]
+        )
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert lines[1] == "| 1.25     |"
+        assert lines[2] == "| failed   |"
+
+    def test_numeric_suffixes_keep_right_alignment(self):
+        text = render_table(
+            ["Rate", "Ratio"], [["3.40%", "2.50x"], ["12.00%", "10.00x"]]
+        )
+        lines = [line for line in text.splitlines() if line.startswith("|")]
+        assert lines[1] == "|  3.40% |  2.50x |"
+
     def test_empty_rows_ok(self):
         text = render_table(["A"], [])
         assert "A" in text
@@ -87,6 +113,28 @@ class TestBinBy:
         result = bin_by(pairs, bin_width=0.2)
         keys = list(result)
         assert keys == sorted(keys)
+
+    def test_upper_edge_clamps_into_last_bin(self):
+        # A key exactly on the upper edge (occupancy 1.0 with the Figure 7
+        # binning) must land in the last valid bin, not an overflow bin
+        # whose center lies beyond ``upper``.
+        result = bin_by([(1.0, 4.0)], bin_width=0.05)
+        assert list(result) == [0.975]
+        assert result[0.975] == 4.0
+        assert all(center <= 1.0 for center in result)
+
+    def test_upper_edge_merges_with_existing_last_bin(self):
+        result = bin_by([(0.96, 2.0), (1.0, 4.0)], bin_width=0.05)
+        assert list(result) == [0.975]
+        assert result[0.975] == pytest.approx(3.0)
+
+    def test_upper_edge_with_custom_range(self):
+        result = bin_by([(2.0, 10.0)], bin_width=0.5, lower=1.0, upper=2.0)
+        assert list(result) == [1.75]
+
+    def test_beyond_upper_still_ignored(self):
+        result = bin_by([(1.0 + 1e-9, 9.0)], bin_width=0.05)
+        assert result == {}
 
 
 class TestSummarize:

@@ -1,0 +1,141 @@
+"""Paper-reference curves and error metrics on synthetic known-error inputs."""
+
+import pytest
+
+from repro.analysis.reference import (
+    REFERENCES,
+    get_reference,
+    geomean_relative_error,
+    max_absolute_deviation,
+    max_relative_deviation,
+    rank_order_agreement,
+    score_series,
+)
+
+
+class TestErrorMetrics:
+    def test_geomean_relative_error_known_values(self):
+        # 10% error on both points -> geomean exactly 0.10.
+        pairs = [(1.1, 1.0), (2.2, 2.0)]
+        assert geomean_relative_error(pairs) == pytest.approx(0.10)
+
+    def test_geomean_mixed_errors(self):
+        # 10% and 40% -> sqrt(0.1 * 0.4) = 0.2.
+        pairs = [(1.1, 1.0), (1.4, 1.0)]
+        assert geomean_relative_error(pairs) == pytest.approx(0.2)
+
+    def test_exact_reproduction_scores_near_zero(self):
+        pairs = [(1.0, 1.0), (2.0, 2.0)]
+        assert geomean_relative_error(pairs) < 1e-6
+        assert max_relative_deviation(pairs) == 0.0
+        assert max_absolute_deviation(pairs) == 0.0
+
+    def test_max_deviations(self):
+        pairs = [(1.1, 1.0), (3.0, 2.0)]
+        assert max_relative_deviation(pairs) == pytest.approx(0.5)
+        assert max_absolute_deviation(pairs) == pytest.approx(1.0)
+
+    def test_empty_pairs(self):
+        assert geomean_relative_error([]) == 0.0
+        assert max_relative_deviation([]) == 0.0
+        assert max_absolute_deviation([]) == 0.0
+
+    def test_zero_reference_does_not_divide_by_zero(self):
+        assert max_relative_deviation([(0.1, 0.0)]) > 0
+
+
+class TestRankOrderAgreement:
+    def test_identical_ordering_is_one(self):
+        expected = {"a": 1.0, "b": 2.0, "c": 3.0}
+        actual = {"a": 10.0, "b": 20.0, "c": 30.0}
+        assert rank_order_agreement(actual, expected) == 1.0
+
+    def test_reversed_ordering_is_minus_one(self):
+        expected = {"a": 1.0, "b": 2.0, "c": 3.0}
+        actual = {"a": 3.0, "b": 2.0, "c": 1.0}
+        assert rank_order_agreement(actual, expected) == -1.0
+
+    def test_one_swapped_pair(self):
+        expected = {"a": 1.0, "b": 2.0, "c": 3.0}
+        actual = {"a": 2.0, "b": 1.0, "c": 3.0}
+        # 2 of 3 pairs concordant, 1 discordant -> (2 - 1) / 3.
+        assert rank_order_agreement(actual, expected) == pytest.approx(1 / 3)
+
+    def test_fewer_than_two_common_points(self):
+        assert rank_order_agreement({"a": 1.0}, {"a": 5.0, "b": 6.0}) == 1.0
+        assert rank_order_agreement({}, {"a": 5.0}) == 1.0
+
+    def test_only_common_keys_participate(self):
+        expected = {"a": 1.0, "b": 2.0, "zz": 99.0}
+        actual = {"a": 5.0, "b": 6.0, "other": -1.0}
+        assert rank_order_agreement(actual, expected) == 1.0
+
+
+class TestScoreSeries:
+    def test_score_fields(self):
+        expected = {"a": 1.0, "b": 2.0}
+        actual = {"a": 1.1, "b": 1.8}
+        score = score_series(actual, expected)
+        assert score.points == 2
+        assert score.rank_order_agreement == 1.0
+        assert score.max_absolute_deviation == pytest.approx(0.2)
+        assert "2 points" in str(score)
+
+    def test_intersection_only(self):
+        score = score_series({"a": 1.0}, {"a": 1.0, "b": 2.0})
+        assert score.points == 1
+
+
+class TestReferenceRegistry:
+    def test_digitized_figures_present(self):
+        assert {"fig08", "fig09", "fig10", "fig12", "fig13"} <= set(REFERENCES)
+
+    def test_get_reference_names_valid_set_on_error(self):
+        with pytest.raises(KeyError, match="fig08"):
+            get_reference("fig99")
+
+    def test_fig08_covers_the_full_workload_suite(self):
+        from repro.workloads.suite import WORKLOAD_NAMES
+
+        reference = get_reference("fig08")
+        for config in ("Shared L2", "Private L2"):
+            assert set(reference.series[config]) == set(WORKLOAD_NAMES)
+
+    def test_fig09_labels_match_the_experiment_geometries(self):
+        from repro.experiments.fig09_provisioning import (
+            PRIVATE_L2_GEOMETRIES,
+            SHARED_L2_GEOMETRIES,
+        )
+
+        reference = get_reference("fig09")
+        assert set(reference.series["Shared L2"]) == {
+            label for _w, _p, label in SHARED_L2_GEOMETRIES
+        }
+        assert set(reference.series["Private L2"]) == {
+            label for _w, _p, label in PRIVATE_L2_GEOMETRIES
+        }
+
+    def test_fig12_orders_organizations_like_the_paper(self):
+        # The digitized curve must encode the paper's ordering: Sparse 2x
+        # worst, then Skewed 2x, then Sparse 8x, Cuckoo near-zero.
+        for config in ("Shared L2", "Private L2"):
+            series = get_reference("fig12").series[config]
+            assert (
+                series["Sparse 2x"] > series["Skewed 2x"]
+                > series["Sparse 8x"] > series["Cuckoo"]
+            )
+
+    def test_score_skips_series_the_reproduction_did_not_produce(self):
+        reference = get_reference("fig08")
+        scores = reference.score({"Shared L2": {"Oracle": 0.5}})
+        assert set(scores) == {"Shared L2"}
+        assert scores["Shared L2"].points == 1
+
+    def test_perfect_reproduction_of_the_curve_scores_zero_error(self):
+        reference = get_reference("fig10")
+        scores = reference.score(
+            {label: dict(points) for label, points in reference.series.items()}
+        )
+        for score in scores.values():
+            assert score.geomean_relative_error < 1e-6
+            assert score.rank_order_agreement == 1.0

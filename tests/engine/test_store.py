@@ -1,8 +1,12 @@
 """Content-addressed result-store tests: hits, misses, persistence."""
 
+import json
+
+import pytest
+
 from repro.engine.execute import execute_spec
 from repro.engine.spec import RunSpec
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStore, iter_store_records, iter_store_results
 
 
 def _spec(**overrides):
@@ -74,3 +78,91 @@ class TestResultStore:
         store.compact()
         assert len(path.read_text().splitlines()) == 1
         assert ResultStore(path).get(_spec()) == result
+
+    def test_put_is_durable_before_returning(self, tmp_path):
+        # The appended record must be fully on disk (not buffered) by the
+        # time put() returns: a concurrent reader sees it immediately.
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(execute_spec(_spec()))
+        on_disk = path.read_bytes()
+        assert on_disk.endswith(b"\n")
+        assert json.loads(on_disk.decode("utf-8"))["result"]
+        assert len(ResultStore(path)) == 1
+
+    def test_crash_mid_compact_leaves_original_intact(self, tmp_path, monkeypatch):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(execute_spec(_spec()))
+        store.put(execute_spec(_spec(seed=1)))
+        before = path.read_bytes()
+
+        calls = {"n": 0}
+        real_dumps = json.dumps
+
+        def exploding_dumps(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("simulated crash mid-compact")
+            return real_dumps(*args, **kwargs)
+
+        monkeypatch.setattr("repro.engine.store.json.dumps", exploding_dumps)
+        with pytest.raises(RuntimeError, match="simulated crash"):
+            store.compact()
+        monkeypatch.undo()
+
+        # The live file is byte-identical and no temp litter remains.
+        assert path.read_bytes() == before
+        assert not list(tmp_path.glob("*.tmp"))
+        reopened = ResultStore(path)
+        assert reopened.get(_spec()) is not None
+        assert reopened.get(_spec(seed=1)) is not None
+
+    def test_compact_replaces_atomically_with_temp_file(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(execute_spec(_spec()))
+        store.put(execute_spec(_spec()))
+        report = store.compact()
+        assert report.entries_kept == 1
+        assert report.lines_removed == 1
+        assert report.bytes_saved > 0
+        assert not (tmp_path / "results.jsonl.tmp").exists()
+
+
+class TestStreamingIteration:
+    def test_streams_last_record_per_key_in_write_order(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        first = execute_spec(_spec())
+        second = execute_spec(_spec(seed=1))
+        store.put(first)
+        store.put(second)
+        store.put(first)  # supersedes the first line
+
+        keys = [key for key, _payload in iter_store_records(path)]
+        assert keys == [second.spec.key(), first.spec.key()]
+
+        results = list(iter_store_results(path))
+        assert results == [second, first]
+
+    def test_missing_file_yields_nothing(self, tmp_path):
+        assert list(iter_store_records(tmp_path / "absent.jsonl")) == []
+
+    def test_corrupt_and_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        result = execute_spec(_spec())
+        store.put(result)
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("\n{broken\n")
+            handle.write('{"key": "no-result-field"}\n')
+        assert list(iter_store_results(path)) == [result]
+
+    def test_streaming_matches_store_reload(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        for seed in range(3):
+            store.put(execute_spec(_spec(seed=seed)))
+        streamed = {key for key, _payload in iter_store_records(path)}
+        assert streamed == set(ResultStore(path).keys())

@@ -1,0 +1,227 @@
+"""Golden-pinned experiment table output for the reporting refactor.
+
+``golden/report_tables_golden.json`` pins the exact text every
+experiment's ``format_table`` produced *before* the drivers were
+refactored onto the :class:`~repro.analysis.frame.SweepFrame` aggregator
+(and after the per-column table-alignment fix).  The refactor changes how
+the tables are assembled, not what they say — each driver must keep
+reproducing its pinned rendering byte-for-byte from the same synthetic
+result objects.
+
+If a table legitimately changes (new column, different wording),
+regenerate with ``python tests/experiments/test_report_golden.py
+regenerate`` and review the diff.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ablation_hash_functions,
+    fig04_scalability,
+    fig07_hash_characteristics,
+    fig08_occupancy,
+    fig09_provisioning,
+    fig10_insertion_attempts,
+    fig11_worst_case,
+    fig12_invalidations,
+    fig13_power_area,
+    mix_occupancy,
+)
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "report_tables_golden.json"
+
+WORKLOADS = ("DB2", "Oracle", "Qry2", "Apache", "em3d", "ocean")
+
+
+def _scalability_result(scenario_name):
+    organizations = ("Duplicate-Tag", "Tagless", "Sparse 8x Coarse", "Cuckoo Coarse")
+    base = {"Duplicate-Tag": 0.02, "Tagless": 0.015,
+            "Sparse 8x Coarse": 0.05, "Cuckoo Coarse": 0.008}
+    growth = {"Duplicate-Tag": 16.0, "Tagless": 20.0,
+              "Sparse 8x Coarse": 1.4, "Cuckoo Coarse": 1.2}
+    core_counts = [16, 1024]
+    series = {
+        organization: {
+            cores: {
+                "energy": base[organization] * (growth[organization] if cores == 1024 else 1.0),
+                "area": base[organization] * 2 * (1.1 if cores == 1024 else 1.0),
+            }
+            for cores in core_counts
+        }
+        for organization in organizations
+    }
+    return fig04_scalability.ScalabilityResult(
+        scenario_name=scenario_name, core_counts=core_counts, series=series
+    )
+
+
+def _build_fig04():
+    return {"Shared-L2": _scalability_result("Shared-L2"),
+            "Private-L2": _scalability_result("Private-L2")}
+
+
+def _build_fig07():
+    return {
+        2: fig07_hash_characteristics.HashCharacteristics(
+            arity=2,
+            occupancy_bins=[0.125, 0.375],
+            average_attempts=[1.1, 2.4],
+            failure_probability=[0.0, 0.25],
+        ),
+        4: fig07_hash_characteristics.HashCharacteristics(
+            arity=4,
+            occupancy_bins=[0.375, 0.625],
+            average_attempts=[1.3, 1.9],
+            failure_probability=[0.0, 0.05],
+        ),
+    }
+
+
+def _build_fig08():
+    shared = {name: 0.4 + 0.05 * index for index, name in enumerate(WORKLOADS)}
+    private = {name: 0.5 + 0.05 * index for index, name in enumerate(WORKLOADS)}
+    return fig08_occupancy.OccupancyResult(shared_l2=shared, private_l2=private)
+
+
+def _provisioning_points(offset):
+    points = []
+    for index, (ways, provisioning, label) in enumerate(
+        [(4, 2.0, "4 x 1024 (2x)"), (4, 1.0, "4 x 512 (1x)"), (3, 0.375, "3 x 256 (3/8x)")]
+    ):
+        attempts = {name: 1.0 + offset + index * (1.5 + 0.1 * j)
+                    for j, name in enumerate(WORKLOADS)}
+        invalidations = {name: offset * 0.001 + index * 0.01 * (j + 1)
+                         for j, name in enumerate(WORKLOADS)}
+        points.append(
+            fig09_provisioning.ProvisioningPoint(
+                label=label,
+                ways=ways,
+                provisioning=provisioning,
+                average_insertion_attempts=sum(attempts.values()) / len(attempts),
+                forced_invalidation_rate=sum(invalidations.values()) / len(invalidations),
+                per_workload_attempts=attempts,
+                per_workload_invalidation_rate=invalidations,
+            )
+        )
+    return points
+
+
+def _build_fig09():
+    return fig09_provisioning.ProvisioningResult(
+        shared_l2=_provisioning_points(0.05), private_l2=_provisioning_points(0.12)
+    )
+
+
+def _build_fig10():
+    shared = {name: 1.1 + 0.07 * index for index, name in enumerate(WORKLOADS)}
+    private = {name: 1.15 + 0.09 * index for index, name in enumerate(WORKLOADS)}
+    return fig10_insertion_attempts.InsertionAttemptsResult(
+        shared_l2=shared, private_l2=private
+    )
+
+
+def _build_fig11():
+    return fig11_worst_case.WorstCaseResult(
+        distributions={
+            "Oracle (Shared L2)": {1: 0.90, 2: 0.08, 3: 0.02},
+            "ocean (Private L2)": {1: 0.80, 2: 0.15, 5: 0.05},
+        }
+    )
+
+
+def _build_fig12():
+    organizations = ("Sparse 2x", "Sparse 8x", "Skewed 2x", "Cuckoo")
+    rates = {"Sparse 2x": 0.08, "Sparse 8x": 0.01, "Skewed 2x": 0.035, "Cuckoo": 0.0002}
+    shared = {
+        org: {name: rates[org] * (1 + 0.1 * index)
+              for index, name in enumerate(WORKLOADS)}
+        for org in organizations
+    }
+    private = {
+        org: {name: rates[org] * (1.2 + 0.1 * index)
+              for index, name in enumerate(WORKLOADS)}
+        for org in organizations
+    }
+    return fig12_invalidations.InvalidationResult(shared_l2=shared, private_l2=private)
+
+
+def _build_fig13():
+    return _build_fig04()
+
+
+def _build_mix():
+    scenarios = {}
+    for index, label in enumerate(("Apache", "ocean", "8xApache+8xocean")):
+        scenarios[label] = {
+            "Shared L2": (0.5 + 0.1 * index, 0.001 * index),
+            "Private L2": (0.6 + 0.1 * index, 0.002 * index),
+        }
+    return mix_occupancy.MixOccupancyResult(
+        scenarios=scenarios, programs=("Apache", "ocean")
+    )
+
+
+def _build_ablation():
+    results = {}
+    for provisioning in (1.0, 0.5):
+        for index, family in enumerate(("skewing", "strong")):
+            results[f"{provisioning:g}x/{family}"] = (
+                ablation_hash_functions.HashAblationPoint(
+                    provisioning=provisioning,
+                    hash_family=family,
+                    average_insertion_attempts=1.2 + provisioning + 0.05 * index,
+                    forced_invalidation_rate=0.002 / provisioning + 0.0001 * index,
+                )
+            )
+    return results
+
+
+CASES = {
+    "fig04": (fig04_scalability.format_table, _build_fig04),
+    "fig07": (fig07_hash_characteristics.format_table, _build_fig07),
+    "fig08": (fig08_occupancy.format_table, _build_fig08),
+    "fig09": (fig09_provisioning.format_table, _build_fig09),
+    "fig10": (fig10_insertion_attempts.format_table, _build_fig10),
+    "fig11": (fig11_worst_case.format_table, _build_fig11),
+    "fig12": (fig12_invalidations.format_table, _build_fig12),
+    "fig13": (fig13_power_area.format_table, _build_fig13),
+    "mix": (mix_occupancy.format_table, _build_mix),
+    "ablation-hash": (ablation_hash_functions.format_table, _build_ablation),
+}
+
+
+def _load_golden():
+    with GOLDEN_PATH.open() as handle:
+        return json.load(handle)
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_format_table_matches_pinned_rendering(name):
+    golden = _load_golden()
+    format_table, build = CASES[name]
+    assert format_table(build()) == golden[name], (
+        f"{name}: format_table output diverged from the pinned pre-refactor "
+        f"rendering (regenerate only for deliberate table changes)"
+    )
+
+
+def test_golden_covers_every_registered_experiment():
+    from repro.engine.registry import EXPERIMENTS
+
+    assert set(CASES) == set(EXPERIMENTS)
+
+
+def _regenerate():  # pragma: no cover - maintenance helper
+    golden = {
+        name: format_table(build()) for name, (format_table, build) in CASES.items()
+    }
+    GOLDEN_PATH.write_text(json.dumps(golden, indent=1, sort_keys=True))
+    print(f"regenerated {GOLDEN_PATH}")
+
+
+if __name__ == "__main__" and "regenerate" in sys.argv:  # pragma: no cover
+    _regenerate()
