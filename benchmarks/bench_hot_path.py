@@ -12,9 +12,16 @@ with the rewritten tree on the same machine (alternating runs, best of
 three each) so machine-load drift cancels out of the ratio.  Absolute
 numbers on another machine will differ; the *ratio* is the claim:
 
-* end-to-end fig10 reference point: >= 3x
+* end-to-end fig10 reference point: >= 6x vs the pre-PR-2 tree, i.e.
+  >= 1.8x on top of PR 2's allocation-free rewrite (the array-native
+  core: flat-state caches, integer coherence protocol, batched chunk
+  front-end, candidate-index caching);
 * cuckoo insert/remove and skewing index throughput: ~2x
-* synthetic trace generation: ~1.3x
+
+The record also carries ``fig10_speedup_vs_prev_committed`` — the fig10
+time of the PR the array-native core landed on top of (the committed
+BENCH_hot_path.json of PR 4) divided by the current time — which is the
+per-PR claim CI's ``repro-run compare`` gate watches.
 
 Usage::
 
@@ -60,6 +67,11 @@ PRE_PR_BASELINE: Dict[str, float] = {
     "skewing_indices_50k_seconds": 0.24681,
     "trace_100k_seconds": 0.17169,
 }
+
+#: fig10 point time committed by the PR preceding the array-native core
+#: rewrite (``current_seconds`` of the BENCH_hot_path.json committed in
+#: PR 4, measured on the same machine class as the baseline above).
+PREV_COMMITTED_FIG10_SECONDS = 0.6469
 
 #: The Figure 10 reference point: Oracle on the Shared-L2 chosen design.
 FIG10_REFERENCE = RunSpec(
@@ -167,12 +179,19 @@ def main(argv=None) -> int:
         for name in METRICS
         if current[name] > 0
     }
+    fig10_vs_prev = (
+        PREV_COMMITTED_FIG10_SECONDS / current["fig10_point_seconds"]
+        if current["fig10_point_seconds"] > 0
+        else float("inf")
+    )
     record = {
         "reference_point": FIG10_REFERENCE.to_dict(),
         "quick": args.quick,
         "baseline_pre_pr_seconds": PRE_PR_BASELINE,
+        "prev_committed_fig10_seconds": PREV_COMMITTED_FIG10_SECONDS,
         "current_seconds": current,
         "speedup_vs_baseline": speedups,
+        "fig10_speedup_vs_prev_committed": fig10_vs_prev,
         "unix_time": time.time(),
     }
     output = Path(args.output)
@@ -184,7 +203,11 @@ def main(argv=None) -> int:
             f"{name:32s} {PRE_PR_BASELINE[name]:8.4f}s {current[name]:8.4f}s "
             f"{speedups.get(name, float('nan')):7.2f}x"
         )
-    print(f"\nrecorded to {output}")
+    print(
+        f"\nfig10 vs previously committed ({PREV_COMMITTED_FIG10_SECONDS:.4f}s): "
+        f"{fig10_vs_prev:.2f}x"
+    )
+    print(f"recorded to {output}")
 
     fig10_speedup = speedups.get("fig10_point_seconds", 0.0)
     if args.fail_below is not None and fig10_speedup < args.fail_below:

@@ -14,12 +14,16 @@ accesses plus warm-up):
 * ``record_seconds`` — the one-off cost of making the recording;
 * ``end_to_end_live`` / ``end_to_end_replay`` — full simulations of the
   reference point from each source (identical results, see the
-  record→replay golden tests).
+  record→replay golden tests).  These are *context only*: simulation time
+  dominates both, so their ratio hovers near 1.0 and says nothing about
+  the trace subsystem (an earlier ``end_to_end_speedup`` metric derived
+  from them was retired for exactly that reason).
 
-The acceptance claim is the stream-production ratio: ``replay_speedup =
-generate_seconds / replay_seconds`` must be **≥ 3x**.  Everything is
-recorded to ``BENCH_trace_replay.json``; ``--fail-below`` turns the claim
-into an exit code for CI.
+The gated claim is the stream-production ratio: ``replay_speedup =
+generate_seconds / replay_seconds`` must be **≥ 3x** — that is the cost
+the subsystem removes from every repeated run.  Everything is recorded to
+``BENCH_trace_replay.json``; ``--fail-below`` turns the claim into an
+exit code for CI.
 
 Usage::
 
@@ -66,6 +70,11 @@ FIG10_REFERENCE = RunSpec(
 
 #: Minimum stream-production speedup the trace subsystem promises.
 TARGET_SPEEDUP = 3.0
+
+#: Replay stream production is zero-copy array slicing (~0.1 ms per full
+#: drain), far below what one perf_counter window measures reliably; each
+#: timed sample drains this many times and reports the mean.
+REPLAY_DRAIN_REPEATS = 25
 
 
 def _best_of(fn: Callable[[], None], repeats: int) -> float:
@@ -140,7 +149,8 @@ def main(argv=None) -> int:
         recording = TraceReplayWorkload(trace_path)
 
         def replay() -> None:
-            _drain(recording.trace_chunks(system, seed=spec.seed), budget)
+            for _ in range(REPLAY_DRAIN_REPEATS):
+                _drain(recording.trace_chunks(system, seed=spec.seed), budget)
 
         def end_to_end_live() -> None:
             execute_spec(spec)
@@ -158,17 +168,14 @@ def main(argv=None) -> int:
         ):
             bench()  # warm up (page cache, sigma tables, imports)
             current[name] = _best_of(bench, repeats)
+            if name == "replay_seconds":
+                current[name] /= REPLAY_DRAIN_REPEATS
             print(f"  {name:28s} {current[name]:9.4f}s", file=sys.stderr)
         trace_bytes = trace_path.stat().st_size
 
     replay_speedup = (
         current["generate_seconds"] / current["replay_seconds"]
         if current["replay_seconds"] > 0
-        else float("inf")
-    )
-    end_to_end_speedup = (
-        current["end_to_end_live_seconds"] / current["end_to_end_replay_seconds"]
-        if current["end_to_end_replay_seconds"] > 0
         else float("inf")
     )
     record_payload = {
@@ -178,7 +185,6 @@ def main(argv=None) -> int:
         "trace_bytes": trace_bytes,
         "current_seconds": current,
         "replay_speedup_vs_generation": replay_speedup,
-        "end_to_end_speedup": end_to_end_speedup,
         "target_speedup": TARGET_SPEEDUP,
         "unix_time": time.time(),
     }
@@ -189,7 +195,10 @@ def main(argv=None) -> int:
     for name, value in current.items():
         print(f"{name:28s} {value:8.4f}s")
     print(f"\nstream production: replay is {replay_speedup:.2f}x faster than generation")
-    print(f"end-to-end point:  replay run is {end_to_end_speedup:.2f}x the live run")
+    print(
+        "end-to-end times above are context only (simulation dominates both "
+        "runs; their ratio is not a trace-subsystem metric)"
+    )
     print(f"recorded to {output}")
 
     threshold = args.fail_below

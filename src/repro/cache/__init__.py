@@ -9,7 +9,18 @@ observe them (Section 5.2: "Dirty and clean evictions from the private
 caches are tracked by the directory").
 """
 
-from repro.cache.cache import AccessResult, CacheBlock, CoherenceState, SetAssociativeCache
+from repro.cache.cache import (
+    CODE_TO_STATE,
+    STATE_EXCLUSIVE,
+    STATE_INVALID,
+    STATE_MODIFIED,
+    STATE_SHARED,
+    STATE_TO_CODE,
+    AccessResult,
+    CacheBlock,
+    CoherenceState,
+    SetAssociativeCache,
+)
 from repro.cache.replacement import (
     FifoPolicy,
     LruPolicy,
@@ -23,6 +34,12 @@ __all__ = [
     "CacheBlock",
     "CoherenceState",
     "SetAssociativeCache",
+    "STATE_INVALID",
+    "STATE_SHARED",
+    "STATE_EXCLUSIVE",
+    "STATE_MODIFIED",
+    "STATE_TO_CODE",
+    "CODE_TO_STATE",
     "ReplacementPolicy",
     "LruPolicy",
     "FifoPolicy",

@@ -7,6 +7,23 @@ or timing.  That is exactly the information the coherence directory needs.
 Addresses handled here are **block addresses** (byte address divided by
 the block size); the coherence layer performs the division once so every
 structure in the library agrees on the address granularity.
+
+Storage layout (array-native)
+-----------------------------
+Frame state lives in flat parallel arrays indexed by ``set * ways + way``:
+``_tags`` (block address or ``_EMPTY``), ``_states`` (small-int MESI
+codes), ``_dirty`` flags and ``_stamps`` (LRU recency).  A reverse map
+``_location`` (block address -> flat frame index) finds hits in one dict
+probe, and a per-set occupancy count lets the fill path skip the
+free-frame scan once a set is full (the steady state of every simulation).
+There is no per-frame wrapper object: the hot path reads and writes plain
+list slots.
+
+The MESI states are encoded as integers on the hot path (``STATE_*``
+module constants); the :class:`CoherenceState` enum remains the public
+API boundary — :meth:`SetAssociativeCache.probe`, :meth:`state_of`,
+:meth:`fill` and :meth:`set_state` speak enum, while the ``*_code``
+methods used by the coherence controller speak integers.
 """
 
 from __future__ import annotations
@@ -18,7 +35,19 @@ from typing import Dict, Iterator, List, Optional
 from repro.cache.replacement import LruPolicy, ReplacementPolicy
 from repro.config import CacheConfig
 
-__all__ = ["CoherenceState", "CacheBlock", "AccessResult", "CacheStats", "SetAssociativeCache"]
+__all__ = [
+    "CoherenceState",
+    "CacheBlock",
+    "AccessResult",
+    "CacheStats",
+    "SetAssociativeCache",
+    "STATE_INVALID",
+    "STATE_SHARED",
+    "STATE_EXCLUSIVE",
+    "STATE_MODIFIED",
+    "STATE_TO_CODE",
+    "CODE_TO_STATE",
+]
 
 
 class CoherenceState(str, Enum):
@@ -38,13 +67,41 @@ class CoherenceState(str, Enum):
         return self in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE)
 
 
-class CacheBlock:
-    """A resident block frame.
+#: Integer MESI codes stored in the flat state array.  The ordering is
+#: deliberate: ``code >= STATE_EXCLUSIVE`` means "owns the block (E or M)",
+#: which the coherence protocol's downgrade path relies on.
+STATE_INVALID = 0
+STATE_SHARED = 1
+STATE_EXCLUSIVE = 2
+STATE_MODIFIED = 3
 
-    A plain ``__slots__`` class rather than a dataclass: one is touched or
-    (re)filled on every cache access, and on eviction the victim's instance
-    is recycled for the incoming block, so the steady-state fill path
-    allocates no frame objects at all.
+STATE_TO_CODE: Dict[CoherenceState, int] = {
+    CoherenceState.INVALID: STATE_INVALID,
+    CoherenceState.SHARED: STATE_SHARED,
+    CoherenceState.EXCLUSIVE: STATE_EXCLUSIVE,
+    CoherenceState.MODIFIED: STATE_MODIFIED,
+}
+
+#: Inverse of :data:`STATE_TO_CODE`, indexed by state code.
+CODE_TO_STATE = (
+    CoherenceState.INVALID,
+    CoherenceState.SHARED,
+    CoherenceState.EXCLUSIVE,
+    CoherenceState.MODIFIED,
+)
+
+#: Vacant-frame sentinel in the flat tag array (block addresses are >= 0).
+_EMPTY = -1
+
+
+class CacheBlock:
+    """A snapshot of one resident block frame.
+
+    The flat-array cache has no per-frame objects; :meth:`SetAssociativeCache.
+    probe` builds one of these on demand as a read-only view.  Mutating a
+    snapshot does not write back into the cache — resident blocks change
+    state through :meth:`SetAssociativeCache.set_state`, :meth:`touch` and
+    :meth:`fill`.
     """
 
     __slots__ = ("address", "state", "dirty")
@@ -93,14 +150,21 @@ class AccessResult:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/eviction counters for one cache."""
+    """Hit/miss/eviction counters for one cache.
 
-    accesses: int = 0
+    ``accesses`` is derived (every access is exactly one hit or one miss),
+    so the per-access paths maintain one counter fewer.
+    """
+
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     dirty_evictions: int = 0
     invalidations_received: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
@@ -119,7 +183,32 @@ class SetAssociativeCache:
     cache reports which victim, if any, had to leave.  ``probe`` answers
     hit/miss questions without side effects, ``touch`` updates recency on
     a hit, and ``invalidate`` removes a block on a remote write.
+
+    The coherence controller's hot path uses the integer-code twins
+    (:meth:`touch_code`, :meth:`fill_code`, :meth:`state_code_of`,
+    :meth:`set_state_code`) which skip enum conversion and result-object
+    construction entirely.
     """
+
+    __slots__ = (
+        "_config",
+        "_name",
+        "_num_sets",
+        "_num_ways",
+        "_policy",
+        "_lru_inline",
+        "_tags",
+        "_states",
+        "_dirty",
+        "_stamps",
+        "_clock",
+        "_set_counts",
+        "_location",
+        "_stats",
+        "_all_ways",
+        "victim_dirty",
+        "_victim_state_code",
+    )
 
     def __init__(
         self,
@@ -134,24 +223,31 @@ class SetAssociativeCache:
         self._policy = policy or LruPolicy(self._num_sets, self._num_ways)
         if self._policy.num_sets != self._num_sets or self._policy.num_ways != self._num_ways:
             raise ValueError("replacement policy geometry does not match the cache")
-        # frames[set][way] -> CacheBlock or None
-        self._frames: List[List[Optional[CacheBlock]]] = [
-            [None] * self._num_ways for _ in range(self._num_sets)
-        ]
-        # Reverse map: block address -> (set, way); kept in sync with frames.
-        self._location: Dict[int, tuple] = {}
+        num_frames = self._num_sets * self._num_ways
+        # Flat parallel frame arrays, indexed by set * ways + way.
+        self._tags: List[int] = [_EMPTY] * num_frames
+        self._states: List[int] = [STATE_INVALID] * num_frames
+        self._dirty: List[bool] = [False] * num_frames
+        # Reverse map: block address -> flat frame index.
+        self._location: Dict[int, int] = {}
+        # Occupied frames per set: lets the fill path skip the free-frame
+        # scan once a set is full (the steady state of a warmed simulation).
+        self._set_counts: List[int] = [0] * self._num_sets
         self._stats = CacheStats()
         # Shared "every way occupied" list handed to select_victim so the
-        # fill hot path does not rebuild range(num_ways) per eviction.
+        # generic-policy fill path does not rebuild range(num_ways).
         self._all_ways = list(range(self._num_ways))
-        # The default LRU policy's bookkeeping (bump a clock, stamp a slot,
-        # pick the min-stamp way) is inlined into touch/fill when the policy
-        # is exactly LruPolicy — the hot loop then performs plain list and
-        # attribute operations instead of three checked method calls per
-        # access.  Any other policy (or subclass) uses the generic calls.
-        self._lru: Optional[LruPolicy] = (
-            self._policy if type(self._policy) is LruPolicy else None
-        )
+        # When the policy is exactly LruPolicy, recency is kept in the
+        # cache's own flat stamp array (bump a clock, stamp a slot, pick
+        # the min-stamp frame) and the policy object is never consulted.
+        # Any other policy (or LruPolicy subclass) gets the generic
+        # per-(set, way) calls.
+        self._lru_inline = type(self._policy) is LruPolicy
+        self._stamps: List[int] = [0] * num_frames
+        self._clock = 0
+        # Victim side-channel for fill_code (valid after it returns >= 0).
+        self.victim_dirty = False
+        self._victim_state_code = STATE_INVALID
 
     # -- geometry ---------------------------------------------------------
     @property
@@ -188,19 +284,35 @@ class SetAssociativeCache:
 
     # -- queries ------------------------------------------------------------
     def probe(self, address: int) -> Optional[CacheBlock]:
-        """Return the resident block for ``address`` or ``None`` (no side effects)."""
-        loc = self._location.get(address)
-        if loc is None:
+        """Return a :class:`CacheBlock` snapshot for ``address`` or ``None``.
+
+        No side effects; the snapshot is a copy of the frame's fields, not
+        live storage (see :class:`CacheBlock`).
+        """
+        index = self._location.get(address)
+        if index is None:
             return None
-        set_index, way = loc
-        return self._frames[set_index][way]
+        return CacheBlock(
+            address=address,
+            state=CODE_TO_STATE[self._states[index]],
+            dirty=self._dirty[index],
+        )
 
     def contains(self, address: int) -> bool:
         return address in self._location
 
     def state_of(self, address: int) -> CoherenceState:
-        block = self.probe(address)
-        return block.state if block is not None else CoherenceState.INVALID
+        index = self._location.get(address)
+        if index is None:
+            return CoherenceState.INVALID
+        return CODE_TO_STATE[self._states[index]]
+
+    def state_code_of(self, address: int) -> int:
+        """Integer MESI code of ``address`` (``STATE_INVALID`` if absent)."""
+        index = self._location.get(address)
+        if index is None:
+            return STATE_INVALID
+        return self._states[index]
 
     def resident_addresses(self) -> Iterator[int]:
         """All block addresses currently resident (iteration order unspecified)."""
@@ -219,25 +331,45 @@ class SetAssociativeCache:
         On a write hit the block is marked dirty; state transitions are the
         coherence controller's job (via :meth:`set_state`).
         """
-        stats = self._stats
-        stats.accesses += 1
-        loc = self._location.get(address)
-        if loc is None:
-            stats.misses += 1
-            return False
-        set_index, way = loc
-        block = self._frames[set_index][way]
-        assert block is not None
+        return self.touch_code(address, write) >= 0
+
+    def touch_code(self, address: int, write: bool = False) -> int:
+        """Like :meth:`touch` but returns the block's state code, -1 on miss."""
+        index = self._location.get(address)
+        if index is None:
+            self._stats.misses += 1
+            return -1
+        self._stats.hits += 1
         if write:
-            block.dirty = True
-        lru = self._lru
-        if lru is not None:
-            lru._clock += 1
-            lru._stamps[set_index][way] = lru._clock
+            self._dirty[index] = True
+        if self._lru_inline:
+            self._clock += 1
+            self._stamps[index] = self._clock
         else:
-            self._policy.on_access(set_index, way)
-        stats.hits += 1
-        return True
+            way = index % self._num_ways
+            self._policy.on_access(index // self._num_ways, way)
+        return self._states[index]
+
+    def touch_repeats(self, address: int, count: int) -> None:
+        """Fold ``count`` repeated hits to a resident block into one update.
+
+        The caller guarantees every folded access is an unconditional hit
+        that changes neither state nor dirtiness (a read in any valid
+        state, or a write while already MODIFIED — M implies dirty).  The
+        effect on statistics and recency is exactly that of ``count``
+        consecutive :meth:`touch` calls: counters advance by ``count`` and
+        the frame ends up stamped with the final clock value.
+        """
+        index = self._location[address]
+        self._stats.hits += count
+        if self._lru_inline:
+            self._clock += count
+            self._stamps[index] = self._clock
+        else:
+            set_index = index // self._num_ways
+            way = index % self._num_ways
+            for _ in range(count):
+                self._policy.on_access(set_index, way)
 
     def fill(
         self,
@@ -251,105 +383,146 @@ class SetAssociativeCache:
         without an eviction (hit-path fill), which keeps the model robust
         against redundant controller fills.
         """
-        lru = self._lru
-        existing = self._location.get(address)
-        if existing is not None:
-            set_index, way = existing
-            block = self._frames[set_index][way]
-            assert block is not None
-            block.state = state
-            block.dirty = block.dirty or dirty
-            if lru is not None:
-                lru._clock += 1
-                lru._stamps[set_index][way] = lru._clock
-            else:
-                self._policy.on_access(set_index, way)
-            return AccessResult(hit=True)
+        hit = address in self._location
+        victim = self.fill_code(address, STATE_TO_CODE[state], dirty)
+        if victim < 0:
+            return AccessResult(hit=hit)
+        return AccessResult(
+            hit=False,
+            victim_address=victim,
+            victim_dirty=self.victim_dirty,
+            victim_state=CODE_TO_STATE[self._victim_state_code],
+        )
 
+    def fill_code(
+        self, address: int, state_code: int = STATE_SHARED, dirty: bool = False
+    ) -> int:
+        """Like :meth:`fill` but takes a state code and returns the victim.
+
+        Returns the evicted block address, or -1 when nothing was evicted
+        (vacant frame, or ``address`` was already resident).  When a victim
+        is returned, ``self.victim_dirty`` holds its dirtiness.
+        """
+        location = self._location
+        index = location.get(address)
+        if index is not None:
+            # Redundant controller fill: refresh state and recency in place.
+            self._states[index] = state_code
+            if dirty:
+                self._dirty[index] = True
+            if self._lru_inline:
+                self._clock += 1
+                self._stamps[index] = self._clock
+            else:
+                self._policy.on_access(index // self._num_ways, index % self._num_ways)
+            return -1
+        return self.fill_miss_code(address, state_code, dirty)
+
+    def fill_miss_code(
+        self, address: int, state_code: int = STATE_SHARED, dirty: bool = False
+    ) -> int:
+        """:meth:`fill_code` for a block the caller knows is absent.
+
+        The coherence controller only fills after a probe missed (and
+        nothing on the miss path can install the block), so the hot path
+        skips the residency re-check.
+        """
+        location = self._location
+        num_ways = self._num_ways
         set_index = address % self._num_sets
-        ways = self._frames[set_index]
+        base = set_index * num_ways
+        tags = self._tags
 
-        free_way = None
-        for way, block in enumerate(ways):
-            if block is None:
-                free_way = way
-                break
-        if free_way is None:
-            if lru is not None:
-                row = lru._stamps[set_index]
-                victim_way = row.index(min(row))
+        if self._set_counts[set_index] < num_ways:
+            # A vacant frame exists: take the first one in way order.
+            index = tags.index(_EMPTY, base, base + num_ways)
+            tags[index] = address
+            self._states[index] = state_code
+            self._dirty[index] = dirty
+            location[address] = index
+            self._set_counts[set_index] += 1
+            if self._lru_inline:
+                self._clock += 1
+                self._stamps[index] = self._clock
             else:
-                # Copy: a policy may legally mutate its occupied_ways arg.
-                victim_way = self._policy.select_victim(
-                    set_index, list(self._all_ways)
-                )
-            victim = ways[victim_way]
-            assert victim is not None
-            victim_address = victim.address
-            victim_dirty = victim.dirty
-            victim_state = victim.state
-            stats = self._stats
-            stats.evictions += 1
-            if victim_dirty:
-                stats.dirty_evictions += 1
-            del self._location[victim_address]
-            # Recycle the victim's frame object for the incoming block.
-            victim.address = address
-            victim.state = state
-            victim.dirty = dirty
-            self._location[address] = (set_index, victim_way)
-            if lru is not None:
-                lru._clock += 1
-                lru._stamps[set_index][victim_way] = lru._clock
-            else:
-                self._policy.on_fill(set_index, victim_way)
-            return AccessResult(
-                hit=False,
-                victim_address=victim_address,
-                victim_dirty=victim_dirty,
-                victim_state=victim_state,
-            )
+                self._policy.on_fill(set_index, index - base)
+            return -1
 
-        ways[free_way] = CacheBlock(address=address, state=state, dirty=dirty)
-        self._location[address] = (set_index, free_way)
-        if lru is not None:
-            lru._clock += 1
-            lru._stamps[set_index][free_way] = lru._clock
+        # Full set: evict the replacement victim and recycle its frame.
+        if self._lru_inline:
+            stamps = self._stamps
+            if num_ways == 2:
+                # Two-way sets (the tracked L1s): a single comparison, with
+                # the same way-order tie-break as index(min(row)).
+                index = base if stamps[base] <= stamps[base + 1] else base + 1
+            else:
+                row = stamps[base : base + num_ways]
+                index = base + row.index(min(row))
         else:
-            self._policy.on_fill(set_index, free_way)
-        return AccessResult(hit=False)
+            # Copy: a policy may legally mutate its occupied_ways arg.
+            index = base + self._policy.select_victim(set_index, list(self._all_ways))
+        victim_address = tags[index]
+        victim_dirty = self._dirty[index]
+        stats = self._stats
+        stats.evictions += 1
+        if victim_dirty:
+            stats.dirty_evictions += 1
+        self.victim_dirty = victim_dirty
+        self._victim_state_code = self._states[index]
+        del location[victim_address]
+        tags[index] = address
+        self._states[index] = state_code
+        self._dirty[index] = dirty
+        location[address] = index
+        if self._lru_inline:
+            self._clock += 1
+            self._stamps[index] = self._clock
+        else:
+            self._policy.on_fill(set_index, index - base)
+        return victim_address
 
     def invalidate(self, address: int) -> bool:
         """Remove ``address`` (remote write or forced directory eviction)."""
-        loc = self._location.get(address)
-        if loc is None:
+        index = self._location.pop(address, None)
+        if index is None:
             return False
-        set_index, way = loc
-        self._policy.on_invalidate(set_index, way)
-        self._frames[set_index][way] = None
-        del self._location[address]
+        if self._lru_inline:
+            self._stamps[index] = 0
+        else:
+            self._policy.on_invalidate(index // self._num_ways, index % self._num_ways)
+        self._tags[index] = _EMPTY
+        self._states[index] = STATE_INVALID
+        self._dirty[index] = False
+        self._set_counts[index // self._num_ways] -= 1
         self._stats.invalidations_received += 1
         return True
 
     def set_state(self, address: int, state: CoherenceState) -> None:
         """Set the MESI state of a resident block (controller-driven)."""
-        block = self.probe(address)
-        if block is None:
-            raise KeyError(f"block {address:#x} not resident in {self._name}")
         if state is CoherenceState.INVALID:
-            self.invalidate(address)
+            if not self.invalidate(address):
+                raise KeyError(f"block {address:#x} not resident in {self._name}")
             return
-        block.state = state
-        if state is CoherenceState.MODIFIED:
-            block.dirty = True
+        self.set_state_code(address, STATE_TO_CODE[state])
+
+    def set_state_code(self, address: int, state_code: int) -> None:
+        """Integer-code twin of :meth:`set_state` for valid states."""
+        index = self._location.get(address)
+        if index is None:
+            raise KeyError(f"block {address:#x} not resident in {self._name}")
+        self._states[index] = state_code
+        if state_code == STATE_MODIFIED:
+            self._dirty[index] = True
 
     def flush(self) -> List[int]:
         """Empty the cache, returning the addresses that were resident."""
         addresses = list(self._location.keys())
-        for address in addresses:
-            loc = self._location[address]
-            self._frames[loc[0]][loc[1]] = None
+        for index in self._location.values():
+            self._tags[index] = _EMPTY
+            self._states[index] = STATE_INVALID
+            self._dirty[index] = False
         self._location.clear()
+        self._set_counts = [0] * self._num_sets
         return addresses
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

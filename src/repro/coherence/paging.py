@@ -100,6 +100,51 @@ class PageMapper:
             self._page_table[virtual_page] = physical_page
         return physical_page * self._page_bytes + offset
 
+    def translate_batch(self, virtual_addresses: np.ndarray) -> np.ndarray:
+        """Translate a whole array of virtual byte addresses at once.
+
+        Equivalent to mapping :meth:`translate` over the array — including
+        the first-touch allocation order: unseen pages are allocated in
+        order of first occurrence within the array, so interleaving batch
+        and scalar translation over the same access stream produces the
+        same page table and draws the RNG identically.
+        """
+        addresses = np.asarray(virtual_addresses, dtype=np.int64)
+        if addresses.size == 0:
+            return addresses.copy()
+        if int(addresses.min()) < 0:
+            raise ValueError("virtual_address must be non-negative")
+        shift = self._page_shift
+        if shift is not None:
+            virtual_pages = addresses >> shift
+            offsets = addresses & self._offset_mask
+        else:
+            virtual_pages = addresses // self._page_bytes
+            offsets = addresses % self._page_bytes
+        unique_pages, first_seen, inverse = np.unique(
+            virtual_pages, return_index=True, return_inverse=True
+        )
+        table = self._page_table
+        unique_list = unique_pages.tolist()
+        missing = [
+            (position, page)
+            for page, position in zip(unique_list, first_seen.tolist())
+            if page not in table
+        ]
+        if missing:
+            # First-touch order: allocate in stream order, not sorted order.
+            missing.sort()
+            for _, page in missing:
+                table[page] = self._allocate()
+        physical_pages = np.fromiter(
+            (table[page] for page in unique_list),
+            dtype=np.int64,
+            count=len(unique_list),
+        )[inverse]
+        if shift is not None:
+            return (physical_pages << shift) | offsets
+        return physical_pages * self._page_bytes + offsets
+
     def _allocate(self) -> int:
         if len(self._allocated) >= self._physical_pages:
             raise RuntimeError("physical page pool exhausted")

@@ -14,9 +14,11 @@ Two entry points drive the same measurement logic:
 * :meth:`TraceSimulator.run_chunks` consumes *trace chunks* — tuples of
   parallel ``(cores, addresses, is_writes, is_instructions)`` sequences
   produced by :meth:`~repro.workloads.base.Workload.trace_chunks` — and
-  feeds the scalar fields straight into
-  :meth:`~repro.coherence.system.TiledCMP.access_scalar`, so the per-access
-  hot loop allocates no access objects and performs no attribute lookups.
+  feeds whole sub-slices into
+  :meth:`~repro.coherence.system.TiledCMP.access_batch`.  Chunks are cut
+  only where the measurement semantics demand it (the warm-up boundary,
+  occupancy-sample points, the measurement end), so the per-access math
+  runs vectorised and no per-element Python conversion happens here.
 
 Both paths execute accesses in the same order with the same warm-up and
 sampling semantics, so their results are bit-identical.
@@ -27,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
-from repro.cache.cache import CacheStats
+import numpy as np
+
 from repro.coherence.messages import TrafficStats
 from repro.coherence.system import MemoryAccess, TiledCMP
 from repro.directories.base import DirectoryStats
@@ -36,6 +39,22 @@ __all__ = ["SimulationResult", "TraceSimulator", "TraceChunk"]
 
 #: Parallel per-access field sequences: (cores, addresses, writes, instrs).
 TraceChunk = Tuple[Sequence[int], Sequence[int], Sequence[bool], Sequence[bool]]
+
+
+def _chunk_arrays(cores, addresses, writes, instrs):
+    """Chunk fields as numpy arrays, converted at most once per chunk.
+
+    ``access_batch`` is called once per measurement sub-slice (sample
+    points, warm-up boundary); converting list-backed chunks here keeps
+    that conversion O(chunk) instead of O(chunk x sub-slices).  Array
+    inputs (replays, vectorised generators) pass through untouched.
+    """
+    return (
+        np.asarray(cores),
+        np.asarray(addresses),
+        np.asarray(writes),
+        np.asarray(instrs),
+    )
 
 
 @dataclass
@@ -123,44 +142,55 @@ class TraceSimulator:
     ) -> SimulationResult:
         """Execute a chunked trace; semantics identical to :meth:`run`.
 
-        This is the allocation-free hot loop: every per-access quantity is
-        a scalar pulled out of the chunk's parallel sequences, the system's
-        access method is bound once, and the sampling countdown replaces a
-        per-access modulo.
+        Each chunk is executed through the system's batched front-end in
+        sub-slices that end exactly at the warm-up boundary, at every
+        occupancy-sample point and at the measurement end, so warm-up and
+        sampling behave per-access even though execution is batched.
         """
         system = self._system
-        access_scalar = system.access_scalar
+        access_batch = system.access_batch
         warmup = self._warmup
         interval = self._sample_interval
         occupancy_samples: List[float] = []
-        sample_append = occupancy_samples.append
         position = 0
         measured = 0
         until_sample = interval
         # A non-positive bound behaves like the original ``measured >= max``
         # check: the first measured access trips it.
-        remaining = max(1, max_accesses) if max_accesses is not None else -1
-        done = False
+        remaining = max(1, max_accesses) if max_accesses is not None else None
 
         for cores, addresses, writes, instrs in chunks:
-            for core, address, is_write, is_instruction in zip(
+            cores, addresses, writes, instrs = _chunk_arrays(
                 cores, addresses, writes, instrs
-            ):
+            )
+            length = len(cores)
+            offset = 0
+            while offset < length:
+                if position < warmup:
+                    span = min(length - offset, warmup - position)
+                    access_batch(cores, addresses, writes, instrs, offset, offset + span)
+                    position += span
+                    offset += span
+                    continue
                 if position == warmup:
                     system.reset_stats()
-                access_scalar(core, address, is_write, is_instruction)
-                position += 1
-                if position > warmup:
-                    measured += 1
-                    until_sample -= 1
-                    if until_sample == 0:
-                        sample_append(system.sample_occupancy())
-                        until_sample = interval
-                    if measured == remaining:
-                        done = True
-                        break
-            if done:
-                break
+                span = length - offset
+                if span > until_sample:
+                    span = until_sample
+                if remaining is not None and span > remaining:
+                    span = remaining
+                access_batch(cores, addresses, writes, instrs, offset, offset + span)
+                position += span
+                offset += span
+                measured += span
+                until_sample -= span
+                if until_sample == 0:
+                    occupancy_samples.append(system.sample_occupancy())
+                    until_sample = interval
+                if remaining is not None:
+                    remaining -= span
+                    if remaining == 0:
+                        return self._build_result(measured, occupancy_samples)
 
         return self._build_result(measured, occupancy_samples)
 
@@ -195,7 +225,7 @@ class TraceSimulator:
         if max_windows is not None and max_windows <= 0:
             raise ValueError("max_windows must be positive")
         system = self._system
-        access_scalar = system.access_scalar
+        access_batch = system.access_batch
         interval = self._sample_interval
 
         merged = None  # DirectoryStats of all measured windows
@@ -215,17 +245,24 @@ class TraceSimulator:
         window_samples: List[float] = []
         done = False
 
-        for chunk_cores, chunk_addresses, chunk_writes, chunk_instrs in chunks:
-            for core, address, is_write, is_instruction in zip(
-                chunk_cores, chunk_addresses, chunk_writes, chunk_instrs
-            ):
-                access_scalar(core, address, is_write, is_instruction)
+        for cores, addresses, writes, instrs in chunks:
+            cores, addresses, writes, instrs = _chunk_arrays(
+                cores, addresses, writes, instrs
+            )
+            length = len(cores)
+            offset = 0
+            while offset < length:
+                span = min(length - offset, remaining)
+                if measuring and span > until_sample:
+                    span = until_sample
+                access_batch(cores, addresses, writes, instrs, offset, offset + span)
+                offset += span
+                remaining -= span
                 if measuring:
-                    until_sample -= 1
+                    until_sample -= span
                     if until_sample == 0:
                         window_samples.append(system.sample_occupancy())
                         until_sample = interval
-                remaining -= 1
                 if remaining == 0:
                     if measuring:
                         # Window complete: fold its statistics into the totals.

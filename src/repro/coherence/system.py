@@ -21,14 +21,40 @@ Two configurations are supported, matching Section 5:
 The directory organization is supplied as a factory so identical access
 streams can be replayed against Sparse, Skewed, Duplicate-Tag, Tagless or
 Cuckoo organizations.
+
+Execution paths
+---------------
+Three entry points execute the same protocol and produce bit-identical
+statistics:
+
+* :meth:`TiledCMP.access` — one :class:`MemoryAccess` object (general API);
+* :meth:`TiledCMP.access_scalar` — one access as plain scalars;
+* :meth:`TiledCMP.access_batch` — a slice of a trace chunk.  All per-access
+  address math (page translation, block/home/local derivation, tracked-cache
+  selection) is numpy-precomputed for the whole slice, the core-range check
+  is hoisted to one chunk-level validation, and consecutive accesses by the
+  same cache to the same block collapse into a single probe plus counter
+  bumps (the run-length fast path — common in instruction and streaming
+  traces).
+
+Internally the protocol operates on integer MESI codes
+(:data:`repro.cache.cache.STATE_TO_CODE`); the :class:`~repro.cache.cache.
+CoherenceState` enum appears only at the public cache API boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
-from repro.cache.cache import CoherenceState, SetAssociativeCache
+import numpy as np
+
+from repro.cache.cache import (
+    STATE_EXCLUSIVE,
+    STATE_MODIFIED,
+    STATE_SHARED,
+    SetAssociativeCache,
+)
 from repro.config import CacheLevel, SystemConfig
 from repro.coherence.interconnect import MeshInterconnect
 from repro.coherence.messages import (
@@ -40,6 +66,19 @@ from repro.coherence.paging import PageMapper
 from repro.directories.base import Directory, DirectoryStats, Invalidation, UpdateResult
 
 __all__ = ["MemoryAccess", "DirectoryFactory", "TiledCMP"]
+
+# Hot-path message constants: hoisted enum members and their byte costs so
+# the inlined traffic recording does no enum attribute traversal.
+_GET_SHARED = MessageType.GET_SHARED
+_GET_MODIFIED = MessageType.GET_MODIFIED
+_PUT_SHARED = MessageType.PUT_SHARED
+_PUT_MODIFIED = MessageType.PUT_MODIFIED
+_DATA = MessageType.DATA
+_GET_SHARED_BYTES = MESSAGE_BYTES_BY_TYPE[_GET_SHARED]
+_GET_MODIFIED_BYTES = MESSAGE_BYTES_BY_TYPE[_GET_MODIFIED]
+_PUT_SHARED_BYTES = MESSAGE_BYTES_BY_TYPE[_PUT_SHARED]
+_PUT_MODIFIED_BYTES = MESSAGE_BYTES_BY_TYPE[_PUT_MODIFIED]
+_DATA_BYTES = MESSAGE_BYTES_BY_TYPE[_DATA]
 
 
 @dataclass(frozen=True)
@@ -162,9 +201,10 @@ class TiledCMP:
     def home_slice(self, block: int) -> int:
         """Home tile of a block (static address interleaving).
 
-        NOTE: ``access_scalar`` and ``_handle_victim`` inline this rule
-        (and :meth:`slice_local_address`) against ``self._num_slices``;
-        change the interleaving in all three places together.
+        NOTE: ``access_scalar``, ``access_batch`` and ``_evict_notify``
+        compute this rule (and :meth:`slice_local_address`) directly
+        against ``self._num_slices``; change the interleaving everywhere
+        together.
         """
         return block % self._num_slices
 
@@ -224,109 +264,252 @@ class TiledCMP:
     # -- the access path ---------------------------------------------------------
     def access(self, access: MemoryAccess) -> None:
         """Execute one memory access through the coherence protocol."""
-        self.access_scalar(
-            access.core, access.address, access.is_write, access.is_instruction
-        )
+        core = access.core
+        if not 0 <= core < self._num_cores:
+            raise IndexError(f"core {core} out of range")
+        self.access_scalar(core, access.address, access.is_write, access.is_instruction)
 
     def access_scalar(
         self, core: int, address: int, is_write: bool, is_instruction: bool
     ) -> None:
-        """Execute one access given as plain scalars (the chunked hot path).
+        """Execute one access given as plain scalars.
 
-        Behaviourally identical to :meth:`access`; exists so the simulator's
-        chunked loop never materialises :class:`MemoryAccess` objects.
+        Behaviourally identical to :meth:`access`, except that ``core`` is
+        trusted: range validation lives in :meth:`access` and in the
+        chunk-level validation of :meth:`access_batch`, not here.
         """
         self._accesses += 1
         block = self._page_mapper.translate(address) >> self._offset_bits
-        if not 0 <= core < self._num_cores:
-            raise IndexError(f"core {core} out of range")
         if self._l1_tracked:
             cache_id = core * 2 + (0 if is_instruction else 1)
         else:
             cache_id = core
+        num_slices = self._num_slices
+        self._access_block(
+            block, block // num_slices, block % num_slices, cache_id, is_write
+        )
+
+    def access_batch(
+        self,
+        cores: Sequence[int],
+        addresses: Sequence[int],
+        writes: Sequence[bool],
+        instrs: Sequence[bool],
+        start: int = 0,
+        stop: Optional[int] = None,
+    ) -> int:
+        """Execute the ``[start, stop)`` slice of a trace chunk; returns its size.
+
+        The chunk fields may be numpy arrays (trace replays, vectorised
+        generators) or plain sequences.  Address math runs vectorised over
+        the whole slice — page translation, block/home/local derivation and
+        tracked-cache selection — so the per-access loop does none; the
+        ``0 <= core < num_cores`` check runs once per slice instead of per
+        access.  Equivalent to calling :meth:`access_scalar` per element.
+        """
+        cores = np.asarray(cores)
+        if stop is None:
+            stop = len(cores)
+        count = stop - start
+        if count <= 0:
+            return 0
+        seg_cores = cores[start:stop]
+        # Chunk-level validation, hoisted out of the per-access path: a
+        # malformed trace fails before any of the slice executes.
+        if int(seg_cores.min()) < 0 or int(seg_cores.max()) >= self._num_cores:
+            raise IndexError(
+                f"core out of range [0, {self._num_cores}) in trace chunk"
+            )
+        physical = self._page_mapper.translate_batch(
+            np.asarray(addresses)[start:stop]
+        )
+        block_array = physical >> self._offset_bits
+        locals_array, homes_array = np.divmod(block_array, self._num_slices)
+        homes = homes_array.tolist()
+        locals_ = locals_array.tolist()
+        if self._l1_tracked:
+            instr_segment = np.asarray(instrs)[start:stop]
+            cache_ids = (seg_cores * 2 + np.where(instr_segment, 0, 1)).tolist()
+        else:
+            cache_ids = seg_cores.tolist()
+        blocks = block_array.tolist()
+        write_flags = np.asarray(writes)[start:stop].tolist()
+        self._accesses += count
+
+        tracked = self._tracked
+        banks = self._l2_banks
+        directories = self._directories
+        # Pre-bound per-cache touch methods: one bind per cache per batch
+        # instead of one attribute bind per access.
+        touch_code_of = [cache.touch_code for cache in tracked]
+        i = 0
+        while i < count:
+            block = blocks[i]
+            cache_id = cache_ids[i]
+            is_write = write_flags[i]
+            state = touch_code_of[cache_id](block, is_write)
+            if state >= 0:
+                if is_write and state != STATE_MODIFIED:
+                    self._write_hit_upgrade(
+                        block, locals_[i], homes[i], cache_id, tracked[cache_id], state
+                    )
+            else:
+                home = homes[i]
+                if banks is not None:
+                    # Inlined touch_or_fill: one call on a bank hit, two on
+                    # a bank miss.
+                    bank = banks[home]
+                    if bank.touch_code(block, is_write) < 0:
+                        bank.fill_miss_code(block)
+                if is_write:
+                    self._handle_write_miss(
+                        block, locals_[i], home, cache_id, tracked[cache_id],
+                        directories[home],
+                    )
+                else:
+                    self._handle_read_miss(
+                        block, locals_[i], home, cache_id, tracked[cache_id],
+                        directories[home],
+                    )
+            i += 1
+            if i < count and blocks[i] == block and cache_ids[i] == cache_id:
+                # Run-length fast path: the next access targets the same
+                # block from the same cache.  Repeats that cannot change
+                # any state — reads while resident, or any access while
+                # MODIFIED (M implies dirty) — fold into counter bumps.
+                cache = tracked[cache_id]
+                state = cache.state_code_of(block)
+                j = i
+                if state == STATE_MODIFIED:
+                    while (
+                        j < count and blocks[j] == block and cache_ids[j] == cache_id
+                    ):
+                        j += 1
+                elif state > 0:
+                    while (
+                        j < count
+                        and blocks[j] == block
+                        and cache_ids[j] == cache_id
+                        and not write_flags[j]
+                    ):
+                        j += 1
+                if j > i:
+                    cache.touch_repeats(block, j - i)
+                    i = j
+        return count
+
+    def _access_block(
+        self, block: int, local: int, home: int, cache_id: int, is_write: bool
+    ) -> None:
+        """Execute one access whose address math is already resolved."""
         cache = self._tracked[cache_id]
-        home = block % self._num_slices
-        local = block // self._num_slices
-        directory = self._directories[home]
-
-        hit = cache.touch(block, write=is_write)
-        if hit:
-            if is_write:
-                self._handle_write_hit(block, local, cache_id, cache, home, directory)
+        state = cache.touch_code(block, is_write)
+        if state >= 0:
+            if is_write and state != STATE_MODIFIED:
+                self._write_hit_upgrade(block, local, home, cache_id, cache, state)
             return
-
-        # Miss: consult the home directory (and the shared L2 bank for stats).
         if self._l2_banks is not None:
             bank = self._l2_banks[home]
-            if not bank.touch(block, write=is_write):
-                bank.fill(block)
+            if bank.touch_code(block, is_write) < 0:
+                bank.fill_miss_code(block)
         if is_write:
-            self._handle_write_miss(block, local, cache_id, cache, home, directory)
+            self._handle_write_miss(
+                block, local, home, cache_id, cache, self._directories[home]
+            )
         else:
-            self._handle_read_miss(block, local, cache_id, cache, home, directory)
+            self._handle_read_miss(
+                block, local, home, cache_id, cache, self._directories[home]
+            )
 
     # -- protocol actions ----------------------------------------------------------
-    def _handle_write_hit(
+    def _write_hit_upgrade(
         self,
         block: int,
         local: int,
+        home: int,
         cache_id: int,
         cache: SetAssociativeCache,
-        home: int,
-        directory: Directory,
+        state: int,
     ) -> None:
-        state = cache.state_of(block)
-        if state is CoherenceState.MODIFIED:
-            return
-        if state is CoherenceState.EXCLUSIVE:
+        """Write hit in E or S state (M write hits never reach here)."""
+        if state == STATE_EXCLUSIVE:
             # Silent E -> M upgrade; no directory interaction needed.
-            cache.set_state(block, CoherenceState.MODIFIED)
+            cache.set_state_code(block, STATE_MODIFIED)
             return
         # S -> M upgrade: the home must invalidate the other sharers.
-        self._record(MessageType.GET_MODIFIED, self._core_of[cache_id], home)
-        result = directory.acquire_exclusive(local, cache_id)
+        core = self._core_of[cache_id]
+        if self._track_traffic:
+            traffic = self._traffic
+            traffic.messages[_GET_MODIFIED] += 1
+            traffic.hops += self._hop_table[core][home]
+            traffic.bytes_transferred += _GET_MODIFIED_BYTES
+        result = self._directories[home].acquire_exclusive(local, cache_id)
         self._apply_coherence_invalidations(block, result, home, requester=cache_id)
-        self._apply_forced_invalidations(result.invalidations, home)
-        cache.set_state(block, CoherenceState.MODIFIED)
+        if result.invalidations:
+            self._apply_forced_invalidations(result.invalidations, home)
+        cache.set_state_code(block, STATE_MODIFIED)
 
     def _handle_write_miss(
         self,
         block: int,
         local: int,
+        home: int,
         cache_id: int,
         cache: SetAssociativeCache,
-        home: int,
         directory: Directory,
     ) -> None:
-        self._record(MessageType.GET_MODIFIED, self._core_of[cache_id], home)
+        core = self._core_of[cache_id]
+        track = self._track_traffic
+        if track:
+            traffic = self._traffic
+            hop_table = self._hop_table
+            traffic.messages[_GET_MODIFIED] += 1
+            traffic.hops += hop_table[core][home]
+            traffic.bytes_transferred += _GET_MODIFIED_BYTES
         result = directory.acquire_exclusive(local, cache_id)
         self._apply_coherence_invalidations(block, result, home, requester=cache_id)
-        self._apply_forced_invalidations(result.invalidations, home)
-        self._record(MessageType.DATA, home, self._core_of[cache_id])
-        fill = cache.fill(block, state=CoherenceState.MODIFIED, dirty=True)
-        self._handle_victim(fill, cache_id)
+        if result.invalidations:
+            self._apply_forced_invalidations(result.invalidations, home)
+        if track:
+            traffic.messages[_DATA] += 1
+            traffic.hops += hop_table[home][core]
+            traffic.bytes_transferred += _DATA_BYTES
+        victim = cache.fill_miss_code(block, STATE_MODIFIED, True)
+        if victim >= 0:
+            self._evict_notify(victim, cache_id, core, cache.victim_dirty)
 
     def _handle_read_miss(
         self,
         block: int,
         local: int,
+        home: int,
         cache_id: int,
         cache: SetAssociativeCache,
-        home: int,
         directory: Directory,
     ) -> None:
-        self._record(MessageType.GET_SHARED, self._core_of[cache_id], home)
-        existing = directory.lookup(local)
-        if existing.found:
-            self._downgrade_owner(block, existing.sharers, home, requester=cache_id)
-            new_state = CoherenceState.SHARED
+        core = self._core_of[cache_id]
+        track = self._track_traffic
+        if track:
+            traffic = self._traffic
+            hop_table = self._hop_table
+            traffic.messages[_GET_SHARED] += 1
+            traffic.hops += hop_table[core][home]
+            traffic.bytes_transferred += _GET_SHARED_BYTES
+        found, prior_sharers, result = directory.lookup_add(local, cache_id)
+        if found:
+            self._downgrade_owner(block, prior_sharers, home, requester=cache_id)
+            new_state = STATE_SHARED
         else:
-            new_state = CoherenceState.EXCLUSIVE
-        result = directory.add_sharer(local, cache_id)
-        self._apply_forced_invalidations(result.invalidations, home)
-        self._record(MessageType.DATA, home, self._core_of[cache_id])
-        fill = cache.fill(block, state=new_state)
-        self._handle_victim(fill, cache_id)
+            new_state = STATE_EXCLUSIVE
+        if result.invalidations:
+            self._apply_forced_invalidations(result.invalidations, home)
+        if track:
+            traffic.messages[_DATA] += 1
+            traffic.hops += hop_table[home][core]
+            traffic.bytes_transferred += _DATA_BYTES
+        victim = cache.fill_miss_code(block, new_state, False)
+        if victim >= 0:
+            self._evict_notify(victim, cache_id, core, cache.victim_dirty)
 
     def _downgrade_owner(
         self, block: int, sharers, home: int, requester: int
@@ -336,16 +519,14 @@ class TiledCMP:
             if sharer == requester:
                 continue
             owner_cache = self._tracked[sharer]
-            state = owner_cache.state_of(block)
-            if state in (CoherenceState.MODIFIED, CoherenceState.EXCLUSIVE):
-                self._record(
-                    MessageType.FWD_GET, home, self._core_of[sharer]
-                )
-                if state is CoherenceState.MODIFIED:
+            state = owner_cache.state_code_of(block)
+            if state >= STATE_EXCLUSIVE:  # MODIFIED or EXCLUSIVE
+                self._record(MessageType.FWD_GET, home, self._core_of[sharer])
+                if state == STATE_MODIFIED:
                     self._record(
                         MessageType.PUT_MODIFIED, self._core_of[sharer], home
                     )
-                owner_cache.set_state(block, CoherenceState.SHARED)
+                owner_cache.set_state_code(block, STATE_SHARED)
 
     def _apply_coherence_invalidations(
         self, block: int, result: UpdateResult, home: int, requester: int
@@ -380,17 +561,26 @@ class TiledCMP:
                     MessageType.INV_ACK, self._core_of[sharer], home
                 )
 
-    def _handle_victim(self, fill_result, cache_id: int) -> None:
-        """Notify the victim's home directory of a private-cache eviction."""
-        victim = fill_result.victim_address
-        if victim is None:
-            return
+    def _evict_notify(
+        self, victim: int, cache_id: int, core: int, victim_dirty: bool
+    ) -> None:
+        """Notify the victim's home directory of a private-cache eviction.
+
+        ``core`` is the evicting cache's tile (the caller already has it);
+        both miss handlers share this path so eviction traffic accounting
+        cannot diverge between reads and writes.
+        """
         num_slices = self._num_slices
         victim_home = victim % num_slices
-        message = (
-            MessageType.PUT_MODIFIED if fill_result.victim_dirty else MessageType.PUT_SHARED
-        )
-        self._record(message, self._core_of[cache_id], victim_home)
+        if self._track_traffic:
+            traffic = self._traffic
+            traffic.hops += self._hop_table[core][victim_home]
+            if victim_dirty:
+                traffic.messages[_PUT_MODIFIED] += 1
+                traffic.bytes_transferred += _PUT_MODIFIED_BYTES
+            else:
+                traffic.messages[_PUT_SHARED] += 1
+                traffic.bytes_transferred += _PUT_SHARED_BYTES
         self._directories[victim_home].remove_sharer(
             victim // num_slices, cache_id
         )
@@ -423,9 +613,11 @@ class TiledCMP:
     def _record(self, message_type: MessageType, source: int, destination: int) -> None:
         if not self._track_traffic:
             return
-        # Inlined TrafficStats.record: this runs a few times per access and
-        # the counters are plain attributes (the message dict is initialised
-        # with every type, so no .get fallback is needed).
+        # Inlined TrafficStats.record: the counters are plain attributes
+        # (the message dict is initialised with every type, so no .get
+        # fallback is needed).  The per-miss request/data/eviction messages
+        # inline this body directly at their call sites; this method serves
+        # the invalidation and downgrade paths.
         traffic = self._traffic
         traffic.messages[message_type] += 1
         traffic.hops += self._hop_table[source][destination]

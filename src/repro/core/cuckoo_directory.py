@@ -87,6 +87,24 @@ class CuckooDirectory(Directory):
         self._entry_bits = 1 + tag_bits + sharer_cls.storage_bits(
             num_caches, **sharer_kwargs
         )
+        # Per-operation bit costs, precomputed for the hot paths, and
+        # prebound table accessors (the table object is never replaced).
+        self._lookup_tag_bits = num_ways * tag_bits
+        self._payload_bits = self._entry_bits - tag_bits
+        self._table_get = self._table.get
+        self._table_get_slot = self._table.get_slot
+        # UpdateResult is frozen, so the common insertion outcomes (a new
+        # entry placed in N attempts with no forced invalidation) are
+        # preallocated and shared; only cut-off walks build a result object.
+        self._insert_results: list = [None] + [
+            UpdateResult(inserted_new_entry=True, attempts=attempts)
+            for attempts in range(1, max_insertion_attempts + 1)
+        ]
+        # Sharer sets freed when an entry's last sharer leaves are recycled
+        # for the next insertion: entry turnover is the dominant allocation
+        # of a warmed simulation, and a set is only pooled once it is empty,
+        # so a recycled object is indistinguishable from a fresh one.
+        self._sharer_pool: list = []
 
     # -- geometry -----------------------------------------------------------
     @property
@@ -138,41 +156,112 @@ class CuckooDirectory(Directory):
             stats.sharer_additions += 1
             stats.bits_written += self._entry_bits - self._tag_bits
             return SHARERS_UPDATED
+        return self._insert_new_entry(address, cache_id)
 
-        sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
+    def lookup_add(self, address: int, cache_id: int):
+        """Fused lookup + add_sharer: one table probe for the read-miss path.
+
+        Counters are bit-identical to ``lookup()`` followed by
+        ``add_sharer()``; only the second candidate scan disappears.
+        """
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        stats = self._stats
+        stats.lookups += 1
+        stats.bits_read += self._lookup_tag_bits
+        existing = self._table_get(address)
+        if existing is not None:
+            payload_bits = self._payload_bits
+            stats.lookup_hits += 1
+            stats.bits_read += payload_bits
+            prior = existing.sharers()
+            existing.add(cache_id)
+            stats.sharer_additions += 1
+            stats.bits_written += payload_bits
+            return True, prior, SHARERS_UPDATED
+        stats.lookup_misses += 1
+        return False, frozenset(), self._insert_new_entry(address, cache_id)
+
+    def acquire_exclusive(self, address: int, cache_id: int) -> UpdateResult:
+        """Fused write path: one table probe instead of one per sharer.
+
+        Statistics and directory state are bit-identical to the base
+        implementation (lookup, add the writer, then remove every other
+        sharer), which probes the table once per removed sharer.
+        """
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        stats = self._stats
+        stats.lookups += 1
+        stats.bits_read += self._lookup_tag_bits
+        existing = self._table_get(address)
+        if existing is None:
+            stats.lookup_misses += 1
+            return self._insert_new_entry(address, cache_id)
+        stats.lookup_hits += 1
+        entry_payload_bits = self._payload_bits
+        stats.bits_read += entry_payload_bits
+        prior = existing.sharers()
+        existing.add(cache_id)
+        stats.sharer_additions += 1
+        stats.bits_written += entry_payload_bits
+        to_invalidate = frozenset(c for c in prior if c != cache_id)
+        if to_invalidate:
+            stats.invalidate_all_operations += 1
+            # The writer stays a member throughout, so the entry never
+            # transiently empties and is never deallocated here.
+            for other in to_invalidate:
+                existing.remove(other)
+                stats.sharer_removals += 1
+                stats.bits_written += entry_payload_bits
+            return UpdateResult(coherence_invalidations=to_invalidate)
+        return SHARERS_UPDATED
+
+    def _insert_new_entry(self, address: int, cache_id: int) -> UpdateResult:
+        """Allocate a fresh entry for ``address`` with ``cache_id`` as sharer."""
+        if self._sharer_pool:
+            sharers = self._sharer_pool.pop()
+        else:
+            sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
         sharers.add(cache_id)
-        result = self._table.insert(address, sharers)
-        self._stats.insertions += 1
-        self._stats.record_attempts(result.attempts)
-        # Every placement of the walk rewrites one entry.
-        self._stats.bits_written += max(1, result.attempts) * self.entry_bits
+        result = self._table.insert_absent(address, sharers)
+        stats = self._stats
+        attempts = result.attempts
+        stats.insertions += 1
+        stats.insertion_attempts += attempts
+        stats.attempt_histogram[attempts] += 1
+        # Every placement of the walk rewrites one entry (attempts >= 1 for
+        # every insert_absent outcome).
+        stats.bits_written += attempts * self._entry_bits
 
-        invalidations = ()
         if result.outcome is InsertOutcome.EVICTED_VICTIM:
             evicted_sharers: SharerSet = result.evicted_value
             invalidation = Invalidation(
                 address=result.evicted_key, caches=evicted_sharers.sharers()
             )
             self._record_forced_invalidation(invalidation)
-            invalidations = (invalidation,)
-        return UpdateResult(
-            inserted_new_entry=True,
-            attempts=result.attempts,
-            invalidations=invalidations,
-        )
+            return UpdateResult(
+                inserted_new_entry=True,
+                attempts=attempts,
+                invalidations=(invalidation,),
+            )
+        return self._insert_results[attempts]
 
     def remove_sharer(self, address: int, cache_id: int) -> None:
-        self._check_cache(cache_id)
-        sharers = self._table.get(address)
-        if sharers is None:
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        slot = self._table_get_slot(address)
+        if slot is None:
             return
+        way, index, sharers = slot
         sharers.remove(cache_id)
         stats = self._stats
         stats.sharer_removals += 1
-        stats.bits_written += self._entry_bits - self._tag_bits
+        stats.bits_written += self._payload_bits
         if sharers.is_empty():
-            self._table.remove(address)
+            self._table.clear_slot(way, index)
             stats.entry_removals += 1
+            self._sharer_pool.append(sharers)
 
     # -- convenience constructors -------------------------------------------------
     @classmethod

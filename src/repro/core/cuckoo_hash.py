@@ -41,7 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.hashing.base import HashFamily
 from repro.hashing.skewing import SkewingHashFamily
@@ -50,6 +50,12 @@ __all__ = ["InsertOutcome", "InsertResult", "CuckooHashTable"]
 
 #: Vacant-slot sentinel in the flat key arrays (keys are non-negative).
 _EMPTY = -1
+
+#: Bound on the per-table key -> candidate-indices cache.  Hash functions
+#: are pure, so the cache is dumped wholesale (and cheaply refilled) when a
+#: table has seen more distinct keys than this; the limit exists only to
+#: bound memory on footprints far larger than any directory working set.
+_INDICES_CACHE_LIMIT = 1 << 15
 
 
 class InsertOutcome(str, Enum):
@@ -123,12 +129,20 @@ class CuckooHashTable:
         self._values: List[List[Any]] = [[None] * num_sets for _ in range(num_ways)]
         self._size = 0
         self._start_way = 0
-        # One-entry candidate-index memo.  The directory consults the table
-        # two or three times per coherence operation with the *same* key
-        # (lookup, then add/remove); hash functions are pure, so the last
-        # key's per-way indices can be reused verbatim.
-        self._memo_key = _EMPTY
-        self._memo_indices: List[int] = []
+        # Round-robin probe orders: _way_orders[s] is the way sequence for
+        # a walk starting at way s, so the vacant-candidate scan does no
+        # modular arithmetic.
+        self._way_orders = [
+            tuple((start + offset) % num_ways for offset in range(num_ways))
+            for start in range(num_ways)
+        ]
+        # Candidate-index cache: key -> per-way set indices.  Directory
+        # working sets revisit the same keys constantly (every re-fetch,
+        # eviction notification and displacement re-probes a key seen
+        # before), and the hash functions are pure, so each distinct key is
+        # hashed once and then served by a dict probe.  Bounded by
+        # _INDICES_CACHE_LIMIT (see above).
+        self._indices_cache: Dict[int, List[int]] = {}
         # InsertResult is frozen, so the non-evicting outcomes (UPDATED and
         # INSERTED-with-N-attempts, N <= max_attempts) are preallocated and
         # shared; only the rare cut-off walk builds a result object.
@@ -171,12 +185,14 @@ class CuckooHashTable:
         return [(way, fn(key)) for way, fn in enumerate(self._way_fns)]
 
     def _indices_of(self, key: int) -> List[int]:
-        """The key's per-way set indices, memoized for the last key seen."""
-        if key == self._memo_key:
-            return self._memo_indices
-        indices = self._indices_fn(key)
-        self._memo_key = key
-        self._memo_indices = indices
+        """The key's per-way set indices, cached per distinct key."""
+        cache = self._indices_cache
+        indices = cache.get(key)
+        if indices is None:
+            if len(cache) >= _INDICES_CACHE_LIMIT:
+                cache.clear()
+            indices = self._indices_fn(key)
+            cache[key] = indices
         return indices
 
     def find(
@@ -202,15 +218,16 @@ class CuckooHashTable:
         if key < 0:  # would otherwise match the _EMPTY sentinel
             return default
         keys = self._keys
-        # Memo protocol inlined from _indices_of: get() is the single
+        # Cache protocol inlined from _indices_of: get() is the single
         # hottest method and the call overhead is measurable.  Keep the
         # two in lockstep.
-        if key == self._memo_key:
-            indices = self._memo_indices
-        else:
+        cache = self._indices_cache
+        indices = cache.get(key)
+        if indices is None:
+            if len(cache) >= _INDICES_CACHE_LIMIT:
+                cache.clear()
             indices = self._indices_fn(key)
-            self._memo_key = key
-            self._memo_indices = indices
+            cache[key] = indices
         for way, index in enumerate(indices):
             if keys[way][index] == key:
                 return self._values[way][index]
@@ -250,28 +267,40 @@ class CuckooHashTable:
             raise ValueError("keys must be non-negative")
         keys = self._keys
         values = self._values
-        way_fns = self._way_fns
         if candidate_indices is None:
-            if key == self._memo_key:
-                candidate_indices = self._memo_indices
-            else:
-                candidate_indices = self._indices_fn(key)
-                self._memo_key = key
-                self._memo_indices = candidate_indices
+            candidate_indices = self._indices_of(key)
 
         for way, index in enumerate(candidate_indices):
             if keys[way][index] == key:
                 values[way][index] = value
                 return self._updated_result
+        return self.insert_absent(key, value, candidate_indices)
+
+    def insert_absent(
+        self,
+        key: int,
+        value: Any = None,
+        candidate_indices: Optional[Sequence[int]] = None,
+    ) -> InsertResult:
+        """Insert a key the caller knows is absent (e.g. after a failed get).
+
+        Identical to :meth:`insert` minus the presence scan; inserting a
+        key that *is* present would duplicate it, so only call this after a
+        lookup of the same key came back empty.
+        """
+        if key < 0:
+            raise ValueError("keys must be non-negative")
+        keys = self._keys
+        values = self._values
+        way_fns = self._way_fns
+        if candidate_indices is None:
+            candidate_indices = self._indices_of(key)
 
         # The lookup that preceded the insertion has already revealed whether a
         # vacant candidate slot exists; writing into it is the single attempt.
         num_ways = self._num_ways
         start_way = self._start_way
-        for offset in range(num_ways):
-            way = start_way + offset
-            if way >= num_ways:
-                way -= num_ways
+        for way in self._way_orders[start_way]:
             index = candidate_indices[way]
             if keys[way][index] == _EMPTY:
                 keys[way][index] = key
@@ -286,9 +315,13 @@ class CuckooHashTable:
         way = start_way
         attempts = 0
         max_attempts = self._max_attempts
+        indices_cache = self._indices_cache
         while attempts < max_attempts:
             attempts += 1
-            index = way_fns[way](current_key)
+            # Displaced keys were inserted earlier, so their indices are
+            # almost always still cached.
+            cached = indices_cache.get(current_key)
+            index = cached[way] if cached is not None else way_fns[way](current_key)
             way_keys = keys[way]
             victim_key = way_keys[index]
             way_values = values[way]
@@ -316,15 +349,41 @@ class CuckooHashTable:
             evicted_value=current_value,
         )
 
+    def get_slot(self, key: int) -> Optional[Tuple[int, int, Any]]:
+        """Locate ``key`` in one probe; returns ``(way, index, value)`` or ``None``.
+
+        Combines :meth:`find` and :meth:`get` so callers that need both the
+        stored value and the slot (to :meth:`clear_slot` it afterwards) pay
+        a single candidate scan.
+        """
+        if key < 0:  # would otherwise match the _EMPTY sentinel
+            return None
+        keys = self._keys
+        # Cache protocol inlined from _indices_of; keep in lockstep with get().
+        cache = self._indices_cache
+        indices = cache.get(key)
+        if indices is None:
+            if len(cache) >= _INDICES_CACHE_LIMIT:
+                cache.clear()
+            indices = self._indices_fn(key)
+            cache[key] = indices
+        for way, index in enumerate(indices):
+            if keys[way][index] == key:
+                return way, index, self._values[way][index]
+        return None
+
+    def clear_slot(self, way: int, index: int) -> None:
+        """Vacate a slot previously located with :meth:`get_slot`/:meth:`find`."""
+        self._keys[way][index] = _EMPTY
+        self._values[way][index] = None
+        self._size -= 1
+
     def remove(self, key: int) -> bool:
         """Remove ``key``; returns ``True`` if it was present."""
         location = self.find(key)
         if location is None:
             return False
-        way, index = location
-        self._keys[way][index] = _EMPTY
-        self._values[way][index] = None
-        self._size -= 1
+        self.clear_slot(*location)
         return True
 
     def clear(self) -> None:

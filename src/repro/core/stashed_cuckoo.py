@@ -31,6 +31,7 @@ from repro.core.cuckoo_directory import CuckooDirectory
 from repro.core.cuckoo_hash import InsertOutcome
 from repro.directories.base import (
     SHARERS_UPDATED,
+    Directory,
     Invalidation,
     LookupResult,
     UpdateResult,
@@ -102,6 +103,13 @@ class StashedCuckooDirectory(CuckooDirectory):
         return super().entry_count() + len(self._stash)
 
     # -- operations -------------------------------------------------------------
+    # The stash participates through the virtual lookup/add_sharer/
+    # remove_sharer methods, so the superclass's fused single-probe
+    # shortcuts (which consult the main table directly) must be undone in
+    # favour of the generic compositions.
+    lookup_add = Directory.lookup_add
+    acquire_exclusive = Directory.acquire_exclusive
+
     def lookup(self, address: int) -> LookupResult:
         stashed = self._stash.get(address)
         if stashed is None:
@@ -125,8 +133,13 @@ class StashedCuckooDirectory(CuckooDirectory):
             return super().add_sharer(address, cache_id)
 
         # New entry: insert into the main table; a cut-off walk parks the
-        # displaced victim in the stash instead of invalidating it.
-        sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
+        # displaced victim in the stash instead of invalidating it.  Reuse
+        # a pooled sharer set (the superclass's remove_sharer pools every
+        # emptied one; without this pop the pool would only ever grow).
+        if self._sharer_pool:
+            sharers = self._sharer_pool.pop()
+        else:
+            sharers = self._sharer_cls(self._num_caches, **self._sharer_kwargs)
         sharers.add(cache_id)
         result = self._table.insert(address, sharers)
         self._stats.insertions += 1
@@ -154,6 +167,7 @@ class StashedCuckooDirectory(CuckooDirectory):
             if stashed.is_empty():
                 del self._stash[address]
                 self._stats.entry_removals += 1
+                self._sharer_pool.append(stashed)
             return
         super().remove_sharer(address, cache_id)
         # Space may have opened up in the table: try to drain the stash.

@@ -172,10 +172,35 @@ class SharerSet(abc.ABC):
 
 
 class FullBitVector(SharerSet):
-    """Exact full bit-vector: one presence bit per cache."""
+    """Exact full bit-vector: one presence bit per cache.
+
+    ``add``/``remove``/``sharers`` are re-implemented without the
+    ``_on_change`` hook dispatch and generator machinery of the base class:
+    this is the encoding every simulation-driven experiment stores per
+    directory entry, so its three mutators sit directly on the coherence
+    hot path.
+    """
+
+    def add(self, cache_id: int) -> None:
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        self._mask |= 1 << cache_id
+
+    def remove(self, cache_id: int) -> None:
+        if not 0 <= cache_id < self._num_caches:
+            self._check_cache(cache_id)
+        self._mask &= ~(1 << cache_id)
 
     def sharers(self) -> FrozenSet[int]:
-        return frozenset(_iter_bits(self._mask))
+        mask = self._mask
+        if not mask & (mask - 1):  # zero or one sharer (the common cases)
+            return frozenset((mask.bit_length() - 1,)) if mask else frozenset()
+        members = []
+        while mask:
+            low = mask & -mask
+            members.append(low.bit_length() - 1)
+            mask ^= low
+        return frozenset(members)
 
     def as_bits(self) -> List[int]:
         """The presence bit vector, LSB = cache 0 (useful for tests)."""

@@ -165,8 +165,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile",
         action="store_true",
         help="instead of running the experiment, wrap one representative "
-        "simulation point in cProfile and print the top-20 entries by "
-        "cumulative time (analytical experiments profile their full run)",
+        "simulation point in cProfile and print the top-20 entries "
+        "(analytical experiments profile their full run)",
+    )
+    run_parser.add_argument(
+        "--profile-sort",
+        choices=("cumtime", "tottime"),
+        default="cumtime",
+        help="sort order of the printed profile: cumulative time (default) "
+        "or internal time (hot-loop hunting)",
+    )
+    run_parser.add_argument(
+        "--profile-out",
+        default=None,
+        metavar="FILE",
+        help="also dump the raw pstats data to FILE so before/after "
+        "profiles can be diffed with pstats.Stats (single experiment only)",
     )
     _add_sweep_options(run_parser)
     _add_engine_options(run_parser)
@@ -448,6 +462,16 @@ def _cmd_profile(names: List[str], args: argparse.Namespace) -> int:
     from repro.engine.execute import execute_spec
     from repro.engine.registry import EXPERIMENTS, run_experiment
 
+    profile_out = getattr(args, "profile_out", None)
+    if profile_out and len(names) > 1:
+        print(
+            "--profile-out expects exactly one experiment (the dump holds a "
+            "single profile)",
+            file=sys.stderr,
+        )
+        return 2
+    sort_key = getattr(args, "profile_sort", "cumtime") or "cumtime"
+
     for name in names:
         experiment = EXPERIMENTS[name]
         if experiment.grid is not None:
@@ -478,7 +502,10 @@ def _cmd_profile(names: List[str], args: argparse.Namespace) -> int:
         profiler.enable()
         target()
         profiler.disable()
-        pstats.Stats(profiler).sort_stats("cumulative").print_stats(20)
+        pstats.Stats(profiler).sort_stats(sort_key).print_stats(20)
+        if profile_out:
+            profiler.dump_stats(profile_out)
+            print(f"pstats dump written to {profile_out}", file=sys.stderr)
     return 0
 
 

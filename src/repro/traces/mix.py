@@ -240,12 +240,7 @@ class MixWorkload(Workload):
                 out_addresses[positions] = addresses + self.program_base(index)
                 out_writes[positions] = writes
                 out_instrs[positions] = instrs
-            yield (
-                out_cores.tolist(),
-                out_addresses.tolist(),
-                out_writes.tolist(),
-                out_instrs.tolist(),
-            )
+            yield (out_cores, out_addresses, out_writes, out_instrs)
 
     def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
         return self._trace_via_chunks(system, seed)

@@ -127,11 +127,14 @@ class Workload(abc.ABC):
 
         Each chunk is a tuple of parallel sequences ``(cores, addresses,
         is_writes, is_instructions)`` consumed by
-        :meth:`~repro.coherence.simulator.TraceSimulator.run_chunks`.  The
-        default implementation batches :meth:`trace`; generators with a
-        vectorisable structure (the synthetic workloads) override it to
-        pregenerate whole chunks without building per-access objects.  The
-        flattened chunk stream is always access-for-access identical to
+        :meth:`~repro.coherence.simulator.TraceSimulator.run_chunks` via
+        the batched front-end (:meth:`~repro.coherence.system.TiledCMP.
+        access_batch`), which accepts numpy arrays and plain lists alike.
+        The default implementation batches :meth:`trace` into lists;
+        generators with a vectorisable structure (the synthetic
+        workloads, trace replays, mixes) override it to hand over whole
+        numpy chunks without building per-access objects.  The flattened
+        chunk stream is always access-for-access identical to
         :meth:`trace` for the same ``(system, seed)``.
         """
         cores: list = []
@@ -156,17 +159,19 @@ class Workload(abc.ABC):
 
         The inverse of the default :meth:`trace_chunks`: chunk-native
         workloads (the vectorised generators, trace replays, mixes)
-        implement ``trace`` by delegating here.
+        implement ``trace`` by delegating here.  Chunk fields may be numpy
+        arrays; the int()/bool() coercions keep the yielded
+        :class:`MemoryAccess` objects on plain Python scalars.
         """
         for cores, addresses, writes, instrs in self.trace_chunks(system, seed=seed):
             for core, address, is_write, is_instruction in zip(
                 cores, addresses, writes, instrs
             ):
                 yield MemoryAccess(
-                    core=core,
-                    address=address,
-                    is_write=is_write,
-                    is_instruction=is_instruction,
+                    core=int(core),
+                    address=int(address),
+                    is_write=bool(is_write),
+                    is_instruction=bool(is_instruction),
                 )
 
     def recommended_warmup(self, system: SystemConfig) -> int:

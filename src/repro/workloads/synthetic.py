@@ -210,12 +210,7 @@ class SyntheticWorkload(Workload):
             writes = (is_shared & (write_draw < self.shared_write_fraction)) | (
                 is_private & (write_draw < self.private_write_fraction)
             )
-            yield (
-                cores.tolist(),
-                addresses.tolist(),
-                writes.tolist(),
-                is_instr.tolist(),
-            )
+            yield (cores, addresses, writes, is_instr)
 
     def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
         return self._trace_via_chunks(system, seed)
@@ -251,17 +246,13 @@ class UniformRandomWorkload(Workload):
         block_bytes = system.block_bytes
         base = 0x4000_0000
         num_cores = system.num_cores
-        no_instrs = [False] * _BATCH
+        no_instrs = np.zeros(_BATCH, dtype=np.bool_)  # shared by every chunk
+        no_instrs.setflags(write=False)  # enforce, not just assert, read-only
         while True:
             cores = rng.integers(0, num_cores, size=_BATCH)
             offsets = rng.integers(0, self.footprint_blocks, size=_BATCH)
             writes = rng.random(_BATCH) < self.write_fraction
-            yield (
-                cores.tolist(),
-                (base + offsets * block_bytes).tolist(),
-                writes.tolist(),
-                no_instrs,
-            )
+            yield (cores, base + offsets * block_bytes, writes, no_instrs)
 
     def trace(self, system: SystemConfig, seed: int = 0) -> Iterator[MemoryAccess]:
         return self._trace_via_chunks(system, seed)

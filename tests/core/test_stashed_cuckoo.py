@@ -142,3 +142,31 @@ class TestStashBehaviour:
         result = directory.acquire_exclusive(block, 2)
         assert result.coherence_invalidations == frozenset({0})
         assert directory.lookup(block).sharers == frozenset({2})
+
+
+class TestSharerPoolRecycling:
+    def test_pool_does_not_grow_across_add_remove_cycles(self):
+        """The stash variant must consume the sharer-set pool its inherited
+        remove_sharer fills, or a long run leaks one dead set per removed
+        entry (regression test for exactly that)."""
+        directory = make_directory(sets=64, ways=4)
+        for _ in range(5):
+            for block in range(100):
+                directory.add_sharer(block, 1)
+            for block in range(100):
+                directory.remove_sharer(block, 1)
+        assert directory.entry_count() == 0
+        # Steady state: every insertion pops what the removals pushed.
+        assert len(directory._sharer_pool) <= 100
+
+    def test_cuckoo_pool_bounded_by_entry_churn(self):
+        directory = CuckooDirectory(
+            num_caches=4, num_sets=64, num_ways=4,
+            hash_family=StrongHashFamily(4, 64, seed=1),
+        )
+        for _ in range(5):
+            for block in range(100):
+                directory.add_sharer(block, 1)
+            for block in range(100):
+                directory.remove_sharer(block, 1)
+        assert len(directory._sharer_pool) <= 100

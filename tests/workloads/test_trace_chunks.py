@@ -57,16 +57,31 @@ def test_uniform_workload_chunks_flatten_to_trace():
     assert from_chunks == from_stream
 
 
-def test_chunk_fields_are_plain_python_scalars():
-    """The hot loop indexes these sequences directly; numpy scalars would
-    silently reintroduce per-access conversion costs downstream."""
+def test_vectorised_chunk_fields_are_numpy_arrays():
+    """The batched front-end (``TiledCMP.access_batch``) consumes chunk
+    fields with vectorised address math; the natively vectorised generators
+    must hand over their arrays directly instead of paying a per-element
+    ``tolist`` round-trip the consumer would immediately undo."""
+    import numpy as np
+
     system = scaled_system(CacheLevel.L1, scale=64)
     chunk = next(iter(get_workload("Oracle").trace_chunks(system, seed=0)))
     cores, addresses, writes, instrs = chunk
-    assert type(cores[0]) is int
-    assert type(addresses[0]) is int
-    assert type(writes[0]) is bool
-    assert type(instrs[0]) is bool
+    assert isinstance(cores, np.ndarray) and cores.dtype.kind in "iu"
+    assert isinstance(addresses, np.ndarray) and addresses.dtype.kind in "iu"
+    assert isinstance(writes, np.ndarray) and writes.dtype == np.bool_
+    assert isinstance(instrs, np.ndarray) and instrs.dtype == np.bool_
+
+
+def test_trace_stream_yields_plain_python_scalars():
+    """``trace()`` remains the object-level API: MemoryAccess fields stay
+    plain Python scalars even when the chunks underneath are numpy arrays."""
+    system = scaled_system(CacheLevel.L1, scale=64)
+    access = next(iter(get_workload("Oracle").trace(system, seed=0)))
+    assert type(access.core) is int
+    assert type(access.address) is int
+    assert type(access.is_write) is bool
+    assert type(access.is_instruction) is bool
 
 
 def _fresh_simulator():
