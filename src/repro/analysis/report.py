@@ -412,6 +412,10 @@ def _bench_leaves(data: object, prefix: str = "") -> Dict[str, float]:
 
 def _bench_direction(path: str) -> str:
     lowered = path.lower()
+    # "overhead" wins over the generic "ratio" rule: an overhead_ratio is
+    # a cost (lower is better), not a speedup-style ratio.
+    if "overhead" in lowered:
+        return "lower"
     if "speedup" in lowered or "ratio" in lowered:
         return "higher"
     if "seconds" in lowered or "bytes" in lowered:

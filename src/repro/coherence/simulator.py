@@ -34,8 +34,28 @@ import numpy as np
 from repro.coherence.messages import TrafficStats
 from repro.coherence.system import MemoryAccess, TiledCMP
 from repro.directories.base import DirectoryStats
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.tracing import TRACER as _TRACER
 
 __all__ = ["SimulationResult", "TraceSimulator", "TraceChunk"]
+
+# Phase spans are opened per chunk / per sample point — never per access
+# (DESIGN.md "Observability").  ``trace_production`` times the workload
+# generator (or replay mmap) producing the next chunk; ``translate`` and
+# ``batch_kernel`` are opened inside ``TiledCMP.access_batch``;
+# ``occupancy_sampling`` times the directory occupancy probes.
+_WARMUP_ACCESSES = _obs_counter(
+    "sim.run.warmup_accesses", help="accesses executed during warm-up"
+)
+_MEASURED_ACCESSES = _obs_counter(
+    "sim.run.measured_accesses", help="accesses executed while measuring"
+)
+_OCC_SAMPLES = _obs_counter(
+    "sim.run.occupancy_samples", help="directory occupancy samples taken"
+)
+_SAMPLED_WINDOWS = _obs_counter(
+    "sim.run.sampled_windows", help="SMARTS measurement windows completed"
+)
 
 #: Parallel per-access field sequences: (cores, addresses, writes, instrs).
 TraceChunk = Tuple[Sequence[int], Sequence[int], Sequence[bool], Sequence[bool]]
@@ -159,10 +179,15 @@ class TraceSimulator:
         # check: the first measured access trips it.
         remaining = max(1, max_accesses) if max_accesses is not None else None
 
-        for cores, addresses, writes, instrs in chunks:
-            cores, addresses, writes, instrs = _chunk_arrays(
-                cores, addresses, writes, instrs
-            )
+        # Chunk production is pulled manually (instead of a ``for`` over
+        # ``chunks``) so the generator's own cost lands in its span.
+        iterator = iter(chunks)
+        while True:
+            with _TRACER.span("trace_production"):
+                chunk = next(iterator, None)
+            if chunk is None:
+                break
+            cores, addresses, writes, instrs = _chunk_arrays(*chunk)
             length = len(cores)
             offset = 0
             while offset < length:
@@ -171,6 +196,7 @@ class TraceSimulator:
                     access_batch(cores, addresses, writes, instrs, offset, offset + span)
                     position += span
                     offset += span
+                    _WARMUP_ACCESSES.add(span)
                     continue
                 if position == warmup:
                     system.reset_stats()
@@ -184,8 +210,11 @@ class TraceSimulator:
                 offset += span
                 measured += span
                 until_sample -= span
+                _MEASURED_ACCESSES.add(span)
                 if until_sample == 0:
-                    occupancy_samples.append(system.sample_occupancy())
+                    with _TRACER.span("occupancy_sampling"):
+                        occupancy_samples.append(system.sample_occupancy())
+                    _OCC_SAMPLES.inc()
                     until_sample = interval
                 if remaining is not None:
                     remaining -= span
@@ -245,10 +274,13 @@ class TraceSimulator:
         window_samples: List[float] = []
         done = False
 
-        for cores, addresses, writes, instrs in chunks:
-            cores, addresses, writes, instrs = _chunk_arrays(
-                cores, addresses, writes, instrs
-            )
+        iterator = iter(chunks)
+        while True:
+            with _TRACER.span("trace_production"):
+                chunk = next(iterator, None)
+            if chunk is None:
+                break
+            cores, addresses, writes, instrs = _chunk_arrays(*chunk)
             length = len(cores)
             offset = 0
             while offset < length:
@@ -260,9 +292,14 @@ class TraceSimulator:
                 remaining -= span
                 if measuring:
                     until_sample -= span
+                    _MEASURED_ACCESSES.add(span)
                     if until_sample == 0:
-                        window_samples.append(system.sample_occupancy())
+                        with _TRACER.span("occupancy_sampling"):
+                            window_samples.append(system.sample_occupancy())
+                        _OCC_SAMPLES.inc()
                         until_sample = interval
+                else:
+                    _WARMUP_ACCESSES.add(span)
                 if remaining == 0:
                     if measuring:
                         # Window complete: fold its statistics into the totals.
@@ -292,6 +329,7 @@ class TraceSimulator:
                         window_samples = []
                         measured_total += measure_window
                         windows += 1
+                        _SAMPLED_WINDOWS.inc()
                         if max_windows is not None and windows >= max_windows:
                             done = True
                             break

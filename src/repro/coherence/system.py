@@ -64,8 +64,28 @@ from repro.coherence.messages import (
 )
 from repro.coherence.paging import PageMapper
 from repro.directories.base import Directory, DirectoryStats, Invalidation, UpdateResult
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.tracing import TRACER as _TRACER
 
 __all__ = ["MemoryAccess", "DirectoryFactory", "TiledCMP"]
+
+# Telemetry at chunk granularity only (DESIGN.md "Observability"): one
+# counter bump and two spans per access_batch call, nothing per access.
+# The instruments are free no-ops until repro.obs.enable() swaps them.
+_BATCH_CHUNKS = _obs_counter(
+    "sim.batch.chunks", help="access_batch slices executed"
+)
+_BATCH_ACCESSES = _obs_counter(
+    "sim.batch.accesses", help="accesses executed through access_batch"
+)
+_BATCH_FOLDED = _obs_counter(
+    "sim.batch.folded_accesses",
+    help="accesses folded by the run-length fast path",
+)
+_BATCH_SCALAR = _obs_counter(
+    "sim.batch.scalar_fallbacks",
+    help="accesses that took the scalar coherence-protocol path",
+)
 
 # Hot-path message constants: hoisted enum members and their byte costs so
 # the inlined traffic recording does no enum attribute traversal.
@@ -320,20 +340,21 @@ class TiledCMP:
             raise IndexError(
                 f"core out of range [0, {self._num_cores}) in trace chunk"
             )
-        physical = self._page_mapper.translate_batch(
-            np.asarray(addresses)[start:stop]
-        )
-        block_array = physical >> self._offset_bits
-        locals_array, homes_array = np.divmod(block_array, self._num_slices)
-        homes = homes_array.tolist()
-        locals_ = locals_array.tolist()
-        if self._l1_tracked:
-            instr_segment = np.asarray(instrs)[start:stop]
-            cache_ids = (seg_cores * 2 + np.where(instr_segment, 0, 1)).tolist()
-        else:
-            cache_ids = seg_cores.tolist()
-        blocks = block_array.tolist()
-        write_flags = np.asarray(writes)[start:stop].tolist()
+        with _TRACER.span("translate"):
+            physical = self._page_mapper.translate_batch(
+                np.asarray(addresses)[start:stop]
+            )
+            block_array = physical >> self._offset_bits
+            locals_array, homes_array = np.divmod(block_array, self._num_slices)
+            homes = homes_array.tolist()
+            locals_ = locals_array.tolist()
+            if self._l1_tracked:
+                instr_segment = np.asarray(instrs)[start:stop]
+                cache_ids = (seg_cores * 2 + np.where(instr_segment, 0, 1)).tolist()
+            else:
+                cache_ids = seg_cores.tolist()
+            blocks = block_array.tolist()
+            write_flags = np.asarray(writes)[start:stop].tolist()
         self._accesses += count
 
         tracked = self._tracked
@@ -342,60 +363,70 @@ class TiledCMP:
         # Pre-bound per-cache touch methods: one bind per cache per batch
         # instead of one attribute bind per access.
         touch_code_of = [cache.touch_code for cache in tracked]
-        i = 0
-        while i < count:
-            block = blocks[i]
-            cache_id = cache_ids[i]
-            is_write = write_flags[i]
-            state = touch_code_of[cache_id](block, is_write)
-            if state >= 0:
-                if is_write and state != STATE_MODIFIED:
-                    self._write_hit_upgrade(
-                        block, locals_[i], homes[i], cache_id, tracked[cache_id], state
-                    )
-            else:
-                home = homes[i]
-                if banks is not None:
-                    # Inlined touch_or_fill: one call on a bank hit, two on
-                    # a bank miss.
-                    bank = banks[home]
-                    if bank.touch_code(block, is_write) < 0:
-                        bank.fill_miss_code(block)
-                if is_write:
-                    self._handle_write_miss(
-                        block, locals_[i], home, cache_id, tracked[cache_id],
-                        directories[home],
-                    )
+        folded = 0
+        with _TRACER.span("batch_kernel"):
+            i = 0
+            while i < count:
+                block = blocks[i]
+                cache_id = cache_ids[i]
+                is_write = write_flags[i]
+                state = touch_code_of[cache_id](block, is_write)
+                if state >= 0:
+                    if is_write and state != STATE_MODIFIED:
+                        self._write_hit_upgrade(
+                            block, locals_[i], homes[i], cache_id,
+                            tracked[cache_id], state
+                        )
                 else:
-                    self._handle_read_miss(
-                        block, locals_[i], home, cache_id, tracked[cache_id],
-                        directories[home],
-                    )
-            i += 1
-            if i < count and blocks[i] == block and cache_ids[i] == cache_id:
-                # Run-length fast path: the next access targets the same
-                # block from the same cache.  Repeats that cannot change
-                # any state — reads while resident, or any access while
-                # MODIFIED (M implies dirty) — fold into counter bumps.
-                cache = tracked[cache_id]
-                state = cache.state_code_of(block)
-                j = i
-                if state == STATE_MODIFIED:
-                    while (
-                        j < count and blocks[j] == block and cache_ids[j] == cache_id
-                    ):
-                        j += 1
-                elif state > 0:
-                    while (
-                        j < count
-                        and blocks[j] == block
-                        and cache_ids[j] == cache_id
-                        and not write_flags[j]
-                    ):
-                        j += 1
-                if j > i:
-                    cache.touch_repeats(block, j - i)
-                    i = j
+                    home = homes[i]
+                    if banks is not None:
+                        # Inlined touch_or_fill: one call on a bank hit, two on
+                        # a bank miss.
+                        bank = banks[home]
+                        if bank.touch_code(block, is_write) < 0:
+                            bank.fill_miss_code(block)
+                    if is_write:
+                        self._handle_write_miss(
+                            block, locals_[i], home, cache_id, tracked[cache_id],
+                            directories[home],
+                        )
+                    else:
+                        self._handle_read_miss(
+                            block, locals_[i], home, cache_id, tracked[cache_id],
+                            directories[home],
+                        )
+                i += 1
+                if i < count and blocks[i] == block and cache_ids[i] == cache_id:
+                    # Run-length fast path: the next access targets the same
+                    # block from the same cache.  Repeats that cannot change
+                    # any state — reads while resident, or any access while
+                    # MODIFIED (M implies dirty) — fold into counter bumps.
+                    cache = tracked[cache_id]
+                    state = cache.state_code_of(block)
+                    j = i
+                    if state == STATE_MODIFIED:
+                        while (
+                            j < count
+                            and blocks[j] == block
+                            and cache_ids[j] == cache_id
+                        ):
+                            j += 1
+                    elif state > 0:
+                        while (
+                            j < count
+                            and blocks[j] == block
+                            and cache_ids[j] == cache_id
+                            and not write_flags[j]
+                        ):
+                            j += 1
+                    if j > i:
+                        cache.touch_repeats(block, j - i)
+                        folded += j - i
+                        i = j
+        _BATCH_CHUNKS.inc()
+        _BATCH_ACCESSES.add(count)
+        _BATCH_FOLDED.add(folded)
+        _BATCH_SCALAR.add(count - folded)
         return count
 
     def _access_block(

@@ -42,6 +42,8 @@ Examples
     repro-run run all --quiet
     repro-run sweep --workloads Oracle,ocean --organizations cuckoo,sparse \
         --ways 4 --provisionings 0.5,1.0,2.0 --scale 64
+    repro-run sweep --workloads Oracle --scale 64 --metrics-out metrics.json \
+        --log-level info --log-json
     repro-run trace record Oracle --out traces/oracle.npz --scale 16
     repro-run trace info traces/oracle.npz --verify
     repro-run trace replay traces/oracle.npz
@@ -116,6 +118,24 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-point progress"
+    )
+    group.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="enable telemetry and write a metrics/phase-timing snapshot "
+        "to FILE after the run (JSON; see DESIGN.md 'Observability')",
+    )
+    group.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable structured run logs on stderr at this level",
+    )
+    group.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit log lines as JSON objects (implies --log-level info)",
     )
 
 
@@ -414,19 +434,87 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _setup_telemetry(args: argparse.Namespace) -> None:
+    """Apply the engine telemetry flags before any simulation starts.
+
+    Metrics/tracing are enabled whenever someone will look at them — a
+    ``--metrics-out`` dump or the (non ``--quiet``) final phase breakdown.
+    The overhead gate (``benchmarks/bench_obs_overhead.py``) keeps the
+    enabled path within 2% of disabled, which is what makes on-by-default
+    CLI telemetry acceptable.
+    """
+    from repro import obs
+
+    level = getattr(args, "log_level", None)
+    json_lines = bool(getattr(args, "log_json", False))
+    if level or json_lines:
+        obs.setup_logging(level=level or "info", json_lines=json_lines)
+    if getattr(args, "metrics_out", None) or not getattr(args, "quiet", False):
+        obs.enable()
+
+
 def _make_runner(args: argparse.Namespace) -> ParallelRunner:
+    from repro.obs.progress import ProgressRenderer, SweepMonitor
+
     store = None
     if not args.no_store:
         store = ResultStore(args.store) if args.store else ResultStore()
     workers = 1 if args.serial else args.workers
 
+    # Progress flows through a SweepMonitor and a throttled renderer: one
+    # rewritten line on a TTY, sparse plain lines otherwise — never one
+    # unthrottled stderr line per point.  A --metrics-out dump wants the
+    # sweep summary even under --quiet, so the monitor outlives the
+    # renderer's visibility rules.
+    monitor = None
+    renderer = None
     progress = None
+    tick = None
+    if not args.quiet or getattr(args, "metrics_out", None):
+        monitor = SweepMonitor()
     if not args.quiet:
+        renderer = ProgressRenderer()
+
+        def tick() -> None:
+            renderer.update(monitor)
 
         def progress(event: str, done: int, total: int, spec: RunSpec) -> None:
-            print(f"  [{done}/{total}] {event:9s} {spec.label()}", file=sys.stderr)
+            renderer.update(monitor)
 
-    return ParallelRunner(workers=workers, store=store, progress=progress)
+    runner = ParallelRunner(
+        workers=workers,
+        store=store,
+        progress=progress,
+        monitor=monitor,
+        tick=tick,
+    )
+    runner.cli_renderer = renderer
+    return runner
+
+
+def _finish_telemetry(
+    args: argparse.Namespace, runner: Optional[ParallelRunner] = None
+) -> None:
+    """End-of-command telemetry: close the progress line, print the phase
+    breakdown, write the ``--metrics-out`` snapshot."""
+    from repro import obs
+
+    if runner is not None:
+        renderer = getattr(runner, "cli_renderer", None)
+        monitor = runner.monitor
+        if renderer is not None and monitor is not None and monitor.total:
+            renderer.finish(monitor)
+    if not getattr(args, "quiet", False):
+        totals = obs.TRACER.totals()
+        if totals:
+            print(obs.render_phase_breakdown(totals), file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        meta = {"command": args.command}
+        if runner is not None and runner.monitor is not None:
+            meta["sweep"] = runner.monitor.snapshot()
+        path = obs.export.write_snapshot(metrics_out, meta=meta)
+        print(f"metrics written to {path}", file=sys.stderr)
 
 
 def _unknown_workloads_message(names: Optional[Sequence[str]]) -> Optional[str]:
@@ -531,6 +619,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.profile:
         return _cmd_profile(names, args)
 
+    _setup_telemetry(args)
     runner = _make_runner(args)
     failures = 0
     for name in names:
@@ -551,6 +640,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             continue
         print(table)
         print()
+    _finish_telemetry(args, runner)
     _print_engine_summary(runner)
     return 1 if failures else 0
 
@@ -614,8 +704,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         print(f"invalid sweep: {exc}", file=sys.stderr)
         return 2
+    _setup_telemetry(args)
     runner = _make_runner(args)
     report = runner.run(grid)
+    _finish_telemetry(args, runner)
     print(_sweep_table(grid.specs, report))
     _print_engine_summary(runner, report)
     return 0 if report.ok else 1
@@ -704,6 +796,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
         print(str(exc), file=sys.stderr)
         return 2
     header = trace.header
+    _setup_telemetry(args)
 
     if args.sample_measure is not None:
         if args.measure_accesses is not None:
@@ -759,6 +852,7 @@ def _cmd_trace_replay(args: argparse.Namespace) -> int:
     )
     runner = _make_runner(args)
     report = runner.run([spec])
+    _finish_telemetry(args, runner)
     print(_sweep_table([spec], report))
     _print_engine_summary(runner, report)
     return 0 if report.ok else 1
@@ -818,6 +912,7 @@ def _replay_sampled(args: argparse.Namespace, trace: "object") -> int:
             f"({args.sample_measure} measure / {args.sample_skip} skip)",
         )
     )
+    _finish_telemetry(args)
     return 0
 
 
@@ -873,8 +968,10 @@ def _cmd_mix(args: argparse.Namespace) -> int:
     except (TypeError, ValueError) as exc:
         print(f"invalid mix sweep: {exc}", file=sys.stderr)
         return 2
+    _setup_telemetry(args)
     runner = _make_runner(args)
     report = runner.run(grid)
+    _finish_telemetry(args, runner)
     print(_sweep_table(grid.specs, report))
     _print_engine_summary(runner, report)
     return 0 if report.ok else 1
@@ -924,6 +1021,10 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
                 "avg_attempts": ("average_insertion_attempts", "mean"),
                 "geomean_attempts": ("average_insertion_attempts", "geomean"),
                 "invalidation_rate": ("forced_invalidation_rate", "mean"),
+                # Simulation cost per group (results recorded before the
+                # per-spec wall-time existed simply don't contribute).
+                "cost_seconds": ("elapsed_seconds", "sum"),
+                "secs_per_point": ("elapsed_seconds", "mean"),
             },
         )
         title = f"Store aggregate by {', '.join(args.group_by)} ({store_path})"
@@ -935,6 +1036,7 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
                 "provisioning", "seed", "scale", "measure_accesses",
                 "cache_hit_rate", "occupancy_vs_worst_case",
                 "average_insertion_attempts", "forced_invalidation_rate",
+                "elapsed_seconds", "worker",
             ),
         )
         title = f"Store contents ({store_path})"

@@ -14,12 +14,16 @@ through it), so importing it back at module level would be circular.
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 from typing import Callable, Dict
 
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
+from repro.obs.logging import get_logger, set_context
+
+_LOG = get_logger("repro.engine.execute")
 
 __all__ = [
     "execute_spec",
@@ -183,27 +187,40 @@ def _validate_mix_components(spec: RunSpec, mix: "object", system: "object") -> 
 
 
 def execute_spec(spec: RunSpec) -> RunResult:
-    """Simulate one point from scratch and return its condensed result."""
+    """Simulate one point from scratch and return its condensed result.
+
+    The result records the simulate wall time and the executing pid so
+    downstream reporting can aggregate cost per point and per worker; log
+    lines emitted while the point runs carry its spec hash as context.
+    """
     from repro.config import CacheLevel
     from repro.experiments import common
 
+    set_context(spec=spec.key()[:12], workload=spec.workload)
     started = time.perf_counter()
-    system = common.scaled_system(
-        CacheLevel(spec.tracked_level), num_cores=spec.num_cores, scale=spec.scale
+    try:
+        system = common.scaled_system(
+            CacheLevel(spec.tracked_level), num_cores=spec.num_cores, scale=spec.scale
+        )
+        workload = resolve_workload(spec, system)
+        factory = directory_factory_for_spec(spec, system)
+        _LOG.debug("simulating %s", spec.label())
+        run = common.run_workload(
+            workload,
+            system,
+            factory,
+            measure_accesses=spec.measure_accesses,
+            warmup_accesses=spec.warmup_accesses,
+            seed=spec.seed,
+            occupancy_sample_interval=spec.occupancy_sample_interval,
+        )
+        elapsed = time.perf_counter() - started
+        _LOG.info("simulated %s in %.3fs", spec.label(), elapsed)
+    finally:
+        set_context(spec=None, workload=None)
+    return RunResult.from_workload_run(
+        spec, run, elapsed_seconds=elapsed, worker=str(os.getpid())
     )
-    workload = resolve_workload(spec, system)
-    factory = directory_factory_for_spec(spec, system)
-    run = common.run_workload(
-        workload,
-        system,
-        factory,
-        measure_accesses=spec.measure_accesses,
-        warmup_accesses=spec.warmup_accesses,
-        seed=spec.seed,
-        occupancy_sample_interval=spec.occupancy_sample_interval,
-    )
-    elapsed = time.perf_counter() - started
-    return RunResult.from_workload_run(spec, run, elapsed_seconds=elapsed)
 
 
 def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:

@@ -39,6 +39,9 @@ class RunResult:
     total_messages: int
     attempt_histogram: Tuple[Tuple[int, int], ...] = ()
     elapsed_seconds: float = field(default=0.0, compare=False)
+    #: Pid of the process that simulated this point ("" for cached/legacy
+    #: records); lets ``repro-run report`` aggregate cost per worker.
+    worker: str = field(default="", compare=False)
 
     def attempt_distribution(self) -> Dict[int, float]:
         """Normalised insertion-attempt histogram (Figure 11)."""
@@ -65,6 +68,7 @@ class RunResult:
             "total_messages": self.total_messages,
             "attempt_histogram": [list(pair) for pair in self.attempt_histogram],
             "elapsed_seconds": self.elapsed_seconds,
+            "worker": self.worker,
         }
 
     @classmethod
@@ -83,6 +87,7 @@ class RunResult:
         spec: RunSpec,
         run: "object",
         elapsed_seconds: float = 0.0,
+        worker: str = "",
     ) -> "RunResult":
         """Condense a :class:`~repro.experiments.common.WorkloadRun`."""
         sim = run.result
@@ -104,6 +109,7 @@ class RunResult:
             total_messages=sim.traffic.total_messages,
             attempt_histogram=histogram,
             elapsed_seconds=elapsed_seconds,
+            worker=worker,
         )
 
 

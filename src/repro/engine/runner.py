@@ -8,20 +8,44 @@ outcome into a :class:`GridReport`.  Each worker rebuilds its system from
 the spec (:func:`repro.engine.execute.execute_spec`), so parallel results
 are identical to serial ones; a failing point is isolated as a
 :class:`~repro.engine.results.RunFailure` without aborting the grid.
+
+Telemetry crosses the process boundary in two streams, both optional:
+
+* **Live progress** — workers push small ``(kind, pid, ts, label)``
+  events (``online``/``start``/``heartbeat``/``done``) onto a
+  ``multiprocessing.Queue`` installed by the pool initializer; the parent
+  drains it between completions into a
+  :class:`~repro.obs.progress.SweepMonitor` (per-worker last-seen,
+  points/s, ETA) and calls the ``tick`` callback so the CLI's renderer
+  can repaint.  Validated under both ``fork`` and ``spawn``.
+* **Metrics and spans** — when telemetry is enabled
+  (:func:`repro.obs.enable`), each worker outcome carries the worker's
+  cumulative registry/tracer snapshot; the parent keeps the latest
+  snapshot per pid (workers live for the whole pool, so cumulative ==
+  final) and folds them into its own global registry/tracer after the
+  pool drains.  Only summaries cross the boundary — never per-access
+  data.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from dataclasses import dataclass, field
+from queue import Empty
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
+from repro import obs
 from repro.engine.execute import execute_payload, execute_spec
 from repro.engine.results import RunFailure, RunResult
 from repro.engine.spec import RunGrid, RunSpec
 from repro.engine.store import ResultStore
+from repro.obs.logging import apply_logging_state, logging_state
+from repro.obs.metrics import REGISTRY
+from repro.obs.progress import SweepMonitor, make_event
+from repro.obs.tracing import TRACER
 
 __all__ = [
     "EngineError",
@@ -38,6 +62,79 @@ WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
 #: Progress event callback: ``(event, done, total, spec)`` where ``event``
 #: is one of ``"cached"``, ``"simulated"``, ``"failed"``.
 ProgressCallback = Callable[[str, int, int, RunSpec], None]
+
+#: Default seconds between worker heartbeats while a point simulates.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+# -- worker-side plumbing (module level so fork AND spawn can pickle it) ----
+
+#: The event queue this worker reports to (installed by ``_worker_init``).
+_worker_queue = None
+#: Label of the point this worker is currently simulating, read by the
+#: heartbeat thread.  A mutable cell, not a rebound global, so the thread
+#: sees updates without locking (single writer, torn reads impossible for
+#: a str slot).
+_worker_label = {"current": ""}
+
+
+def _put_event(queue, kind: str, label: str = "") -> None:
+    """Best-effort event send: telemetry must never kill a simulation."""
+    try:
+        queue.put_nowait(make_event(kind, os.getpid(), label))
+    except Exception:
+        pass
+
+
+def _heartbeat_loop(queue, interval: float) -> None:
+    while True:
+        time.sleep(interval)
+        _put_event(queue, "heartbeat", _worker_label["current"])
+
+
+def _worker_init(queue, obs_state, log_state, heartbeat_interval: float) -> None:
+    """Pool initializer: replicate parent telemetry state, start heartbeats."""
+    global _worker_queue
+    _worker_queue = queue
+    obs.apply_state(obs_state)
+    if log_state is not None:
+        apply_logging_state(log_state)
+    if queue is not None:
+        # The immediate "online" event doubles as the first beat, so worker
+        # liveness is observable before the first point completes.
+        _put_event(queue, "online")
+        if heartbeat_interval > 0:
+            thread = threading.Thread(
+                target=_heartbeat_loop,
+                args=(queue, heartbeat_interval),
+                daemon=True,
+            )
+            thread.start()
+
+
+def _execute_payload_observed(payload: Dict[str, object]) -> Dict[str, object]:
+    """Worker entry: :func:`execute_payload` plus progress + telemetry.
+
+    Kept separate from ``execute_payload`` so the execution path stays
+    pure (and serial runs don't double-report telemetry they already
+    accumulated in-process).
+    """
+    queue = _worker_queue
+    label = str(payload.get("workload", ""))
+    if queue is not None:
+        _worker_label["current"] = label
+        _put_event(queue, "start", label)
+    outcome = execute_payload(payload)
+    if queue is not None:
+        _worker_label["current"] = ""
+        _put_event(queue, "done", label)
+    if REGISTRY.enabled or TRACER.enabled:
+        # Cumulative snapshot: the parent keeps the latest per pid.
+        outcome["telemetry"] = {
+            "pid": os.getpid(),
+            "metrics": REGISTRY.snapshot(),
+            "phases": TRACER.snapshot(),
+        }
+    return outcome
 
 
 class EngineError(RuntimeError):
@@ -69,6 +166,12 @@ class GridReport:
     @property
     def ok(self) -> bool:
         return not self.failures
+
+    @property
+    def worker_pids(self) -> List[str]:
+        """Distinct pids that simulated points of this grid (cached and
+        legacy results carry no worker and are excluded)."""
+        return sorted({r.worker for r in self.results.values() if r.worker})
 
     def result_for(self, spec: RunSpec) -> RunResult:
         """The result of ``spec``; raises :class:`EngineError` if it failed."""
@@ -109,6 +212,16 @@ class ParallelRunner:
     start_method:
         :mod:`multiprocessing` start method; defaults to ``fork`` where
         available (cheap on Linux) and ``spawn`` elsewhere.
+    monitor:
+        Optional :class:`~repro.obs.progress.SweepMonitor` fed with point
+        completions and (on pooled runs) worker events.
+    tick:
+        Optional zero-argument callback invoked whenever the live state
+        may have changed (point done, events drained) — the CLI hangs its
+        throttled progress renderer here.
+    heartbeat_interval:
+        Seconds between worker heartbeats; ``0`` disables the heartbeat
+        thread (the online/start/done events still flow).
     """
 
     def __init__(
@@ -117,6 +230,9 @@ class ParallelRunner:
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
         start_method: Optional[str] = None,
+        monitor: Optional[SweepMonitor] = None,
+        tick: Optional[Callable[[], None]] = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
@@ -127,6 +243,9 @@ class ParallelRunner:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else "spawn"
         self._start_method = start_method
+        self._monitor = monitor
+        self._tick = tick
+        self._heartbeat_interval = heartbeat_interval
 
     @property
     def workers(self) -> int:
@@ -135,6 +254,10 @@ class ParallelRunner:
     @property
     def store(self) -> Optional[ResultStore]:
         return self._store
+
+    @property
+    def monitor(self) -> Optional[SweepMonitor]:
+        return self._monitor
 
     # -- execution -----------------------------------------------------------
     def run_spec(self, spec: RunSpec) -> RunResult:
@@ -150,6 +273,8 @@ class ParallelRunner:
         report = GridReport()
         total = len(grid)
         pending: List[RunSpec] = []
+        if self._monitor is not None:
+            self._monitor.begin(total)
 
         for spec in grid:
             cached = self._store.get(spec) if self._store is not None else None
@@ -167,11 +292,17 @@ class ParallelRunner:
                 self._run_pool(pending, report, total)
 
         report.elapsed_seconds = time.perf_counter() - started
+        if self._monitor is not None:
+            self._monitor.finish()
         return report
 
     def _emit(self, event: str, report: GridReport, total: int, spec: RunSpec) -> None:
+        if self._monitor is not None:
+            self._monitor.point_finished(event)
         if self._progress is not None:
             self._progress(event, report.total, total, spec)
+        if self._tick is not None:
+            self._tick()
 
     def _record_outcome(
         self, outcome: Dict[str, object], report: GridReport, total: int
@@ -201,9 +332,67 @@ class ParallelRunner:
         context = multiprocessing.get_context(self._start_method)
         pool_size = min(self.workers, len(pending))
         payloads = [spec.to_dict() for spec in pending]
-        with context.Pool(processes=pool_size) as pool:
-            for outcome in pool.imap_unordered(execute_payload, payloads, chunksize=1):
-                self._record_outcome(outcome, report, total)
+        # The event queue only exists when someone is watching; without a
+        # monitor the pool still replicates obs/logging state but skips the
+        # heartbeat machinery entirely.
+        queue = context.Queue() if self._monitor is not None else None
+        telemetry: Dict[int, Dict[str, object]] = {}
+        initargs = (queue, obs.state(), logging_state(), self._heartbeat_interval)
+        with context.Pool(
+            processes=pool_size, initializer=_worker_init, initargs=initargs
+        ) as pool:
+            in_flight = [
+                pool.apply_async(_execute_payload_observed, (payload,))
+                for payload in payloads
+            ]
+            # apply_async + a poll loop (rather than imap_unordered) so the
+            # parent can drain worker events and repaint progress *between*
+            # completions — a stalled worker stays visible.
+            while in_flight:
+                self._drain_events(queue, timeout=0.05)
+                still_running = []
+                for handle in in_flight:
+                    if handle.ready():
+                        outcome = handle.get()
+                        self._take_telemetry(outcome, telemetry)
+                        self._record_outcome(outcome, report, total)
+                    else:
+                        still_running.append(handle)
+                in_flight = still_running
+                if self._tick is not None:
+                    self._tick()
+            # Final drain: queue feeder threads deliver asynchronously, so
+            # a non-blocking sweep here would drop trailing events.
+            self._drain_events(queue, timeout=0.2)
+        for snapshot in telemetry.values():
+            REGISTRY.absorb(snapshot.get("metrics", {}))
+            TRACER.absorb(snapshot.get("phases", {}))
+
+    def _drain_events(self, queue, timeout: float) -> None:
+        """Feed queued worker events to the monitor, waiting ≤ ``timeout``."""
+        if queue is None:
+            time.sleep(timeout)
+            return
+        monitor = self._monitor
+        deadline = time.monotonic() + timeout
+        while True:
+            wait = deadline - time.monotonic()
+            if wait <= 0:
+                return
+            try:
+                event = queue.get(timeout=wait)
+            except (Empty, OSError, EOFError):
+                return
+            monitor.record_worker_event(event)
+
+    @staticmethod
+    def _take_telemetry(
+        outcome: Dict[str, object], telemetry: Dict[int, Dict[str, object]]
+    ) -> None:
+        """Keep the latest cumulative snapshot per worker pid."""
+        snapshot = outcome.pop("telemetry", None)
+        if snapshot:
+            telemetry[int(snapshot.get("pid", 0))] = snapshot
 
 
 class StoreOnlyRunner(ParallelRunner):

@@ -20,6 +20,8 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
+from repro.obs.metrics import counter as _obs_counter
+from repro.obs.tracing import TRACER as _TRACER
 
 __all__ = [
     "CompactionReport",
@@ -31,6 +33,18 @@ __all__ = [
 
 #: Environment variable overriding the default on-disk store location.
 STORE_ENV_VAR = "REPRO_RESULT_STORE"
+
+# Store-level telemetry: one bump per get/put/compact, with the durable
+# append (write + flush + fsync) timed under the ``store_io`` span.
+_STORE_HITS = _obs_counter("store.get.hits", help="result-store cache hits")
+_STORE_MISSES = _obs_counter("store.get.misses", help="result-store cache misses")
+_STORE_PUTS = _obs_counter("store.puts", help="results appended to the store")
+_STORE_PUT_BYTES = _obs_counter(
+    "store.put_bytes", help="bytes appended to the store (before fsync)"
+)
+_STORE_COMPACTIONS = _obs_counter(
+    "store.compactions", help="store compaction passes"
+)
 
 
 @dataclass(frozen=True)
@@ -161,8 +175,10 @@ class ResultStore:
         record = self._records.get(spec.key())
         if record is None:
             self.misses += 1
+            _STORE_MISSES.inc()
             return None
         self.hits += 1
+        _STORE_HITS.inc()
         return RunResult.from_dict(record)
 
     def iter_results(self) -> Iterator[RunResult]:
@@ -181,12 +197,16 @@ class ResultStore:
         key = result.spec.key()
         record = result.to_dict()
         self._records[key] = record
-        self._path.parent.mkdir(parents=True, exist_ok=True)
-        with self._path.open("a", encoding="utf-8") as handle:
-            handle.write(json.dumps({"key": key, "result": record}) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        line = json.dumps({"key": key, "result": record}) + "\n"
+        with _TRACER.span("store_io"):
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(line)
+                handle.flush()
+                os.fsync(handle.fileno())
         self.writes += 1
+        _STORE_PUTS.inc()
+        _STORE_PUT_BYTES.add(len(line))
 
     def clear(self) -> None:
         """Drop every cached result, on disk and in memory."""
@@ -225,18 +245,22 @@ class ResultStore:
         self._path.parent.mkdir(parents=True, exist_ok=True)
         tmp = self._path.with_name(self._path.name + ".tmp")
         try:
-            with tmp.open("w", encoding="utf-8") as handle:
-                for key, record in self._records.items():
-                    handle.write(json.dumps({"key": key, "result": record}) + "\n")
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(tmp, self._path)
+            with _TRACER.span("store_io"):
+                with tmp.open("w", encoding="utf-8") as handle:
+                    for key, record in self._records.items():
+                        handle.write(
+                            json.dumps({"key": key, "result": record}) + "\n"
+                        )
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(tmp, self._path)
         except BaseException:
             try:
                 tmp.unlink()
             except OSError:
                 pass
             raise
+        _STORE_COMPACTIONS.inc()
         bytes_after = self._path.stat().st_size
         return CompactionReport(
             entries_kept=len(self._records),

@@ -1,0 +1,159 @@
+"""Structured logging for simulator runs.
+
+Builds on the stdlib :mod:`logging` machinery: :func:`setup_logging`
+configures the ``repro`` logger tree with either a human-readable
+formatter or JSON lines, and a filter injects *run context* — the run id,
+spec hash, workload, worker pid — into every record, so a line emitted
+deep inside the coherence kernel still says which sweep point produced
+it.
+
+Context is process-local module state (:func:`set_context` /
+:func:`clear_context`); pool workers inherit the parent's logging
+configuration through :func:`logging_state` / :func:`apply_logging_state`
+which ``ParallelRunner`` ships through the pool initializer.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import Dict, IO, Optional
+
+__all__ = [
+    "setup_logging",
+    "get_logger",
+    "set_context",
+    "clear_context",
+    "current_context",
+    "logging_state",
+    "apply_logging_state",
+]
+
+#: Root of the package's logger tree.
+ROOT_LOGGER_NAME = "repro"
+
+#: Mutable run context merged into every log record.
+_CONTEXT: Dict[str, object] = {}
+
+#: The last configuration applied, for replication into pool workers.
+_STATE: Dict[str, object] = {"level": "warning", "json_lines": False}
+
+#: Attributes of a LogRecord that are not user-supplied ``extra`` fields.
+_RECORD_FIELDS = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime", "context"}
+
+
+def set_context(**fields: object) -> None:
+    """Merge ``fields`` into the run context (``None`` removes a key)."""
+    for key, value in fields.items():
+        if value is None:
+            _CONTEXT.pop(key, None)
+        else:
+            _CONTEXT[key] = value
+
+
+def clear_context() -> None:
+    _CONTEXT.clear()
+
+
+def current_context() -> Dict[str, object]:
+    return dict(_CONTEXT)
+
+
+class _ContextFilter(logging.Filter):
+    """Attach the run context to every record passing through."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        record.context = dict(_CONTEXT)
+        return True
+
+
+class HumanFormatter(logging.Formatter):
+    """``HH:MM:SS level logger: message [key=value ...]``."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        timestamp = time.strftime(
+            "%H:%M:%S", time.localtime(record.created)
+        )
+        message = record.getMessage()
+        context = getattr(record, "context", {})
+        suffix = ""
+        if context:
+            pairs = " ".join(f"{k}={v}" for k, v in sorted(context.items()))
+            suffix = f" [{pairs}]"
+        line = (
+            f"{timestamp} {record.levelname.lower():7s} "
+            f"{record.name}: {message}{suffix}"
+        )
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class JsonLinesFormatter(logging.Formatter):
+    """One JSON object per line: ts/level/logger/msg + context + extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, object] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        payload.update(getattr(record, "context", {}))
+        for key, value in record.__dict__.items():
+            if key not in _RECORD_FIELDS and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=False)
+
+
+def setup_logging(
+    level: str = "info",
+    json_lines: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree; idempotent.
+
+    Returns the root ``repro`` logger.  ``stream`` defaults to stderr so
+    structured output never mixes with result tables on stdout.
+    """
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level: {level!r}")
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.addFilter(_ContextFilter())
+    handler.setFormatter(JsonLinesFormatter() if json_lines else HumanFormatter())
+    logger.addHandler(handler)
+    _STATE["level"] = level
+    _STATE["json_lines"] = json_lines
+    return logger
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``repro.engine``, ``repro.obs``…)."""
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def logging_state() -> Dict[str, object]:
+    """The picklable configuration to replicate into a pool worker."""
+    return dict(_STATE)
+
+
+def apply_logging_state(state: Dict[str, object]) -> None:
+    """Re-apply a parent process's :func:`logging_state` in this process."""
+    setup_logging(
+        level=str(state.get("level", "warning")),
+        json_lines=bool(state.get("json_lines", False)),
+    )

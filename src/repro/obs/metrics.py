@@ -1,0 +1,310 @@
+"""Process-local metrics registry with a free disabled path.
+
+The simulator's hot loops must not pay for instrumentation they are not
+using, so the registry is built around *implementation swapping* rather
+than per-call ``if enabled`` branches: every instrument is created with
+its mutating methods (``inc``/``add``/``set``/``observe``) bound to one
+shared module-level no-op function.  :meth:`MetricsRegistry.enable`
+rebinds them to the real implementations (and :meth:`~MetricsRegistry.
+disable` swaps the no-ops back), so call sites hold the same instrument
+object forever and the disabled path is a single no-op call — no branch,
+no allocation, no value update.
+
+Instrumentation attaches at **chunk/phase granularity only** (one
+``access_batch`` call, one store append, one compaction); nothing in this
+module is ever invoked per memory access.  See DESIGN.md "Observability".
+
+The registry is process-local by design.  Pool workers accumulate into
+their own registries and ship :meth:`~MetricsRegistry.snapshot` dicts
+back with their results; the parent folds them in with
+:meth:`~MetricsRegistry.absorb` (see :mod:`repro.engine.runner`).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "NOOP",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+
+def _noop(*_args, **_kwargs) -> None:
+    """The shared disabled-path implementation of every instrument method."""
+    return None
+
+
+#: Public alias so tests can assert the disabled path is the shared no-op.
+NOOP = _noop
+
+
+class Counter:
+    """A monotonically increasing count (events, accesses, bytes)."""
+
+    __slots__ = ("name", "help", "value", "inc", "add")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+        self.inc = NOOP
+        self.add = NOOP
+
+    def _inc(self) -> None:
+        self.value += 1
+
+    def _add(self, amount: Union[int, float]) -> None:
+        self.value += amount
+
+    def _enable(self) -> None:
+        self.inc = self._inc
+        self.add = self._add
+
+    def _disable(self) -> None:
+        self.inc = NOOP
+        self.add = NOOP
+
+    def _clear(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (queue depth, live workers, occupancy)."""
+
+    __slots__ = ("name", "help", "value", "set", "inc", "dec")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.set = NOOP
+        self.inc = NOOP
+        self.dec = NOOP
+
+    def _set(self, value: float) -> None:
+        self.value = value
+
+    def _inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def _dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def _enable(self) -> None:
+        self.set = self._set
+        self.inc = self._inc
+        self.dec = self._dec
+
+    def _disable(self) -> None:
+        self.set = NOOP
+        self.inc = NOOP
+        self.dec = NOOP
+
+    def _clear(self) -> None:
+        self.value = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, {self.value})"
+
+
+#: Default histogram bucket upper bounds (semantics-free powers of two, a
+#: reasonable default for counts and sizes).
+DEFAULT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+def format_bound(bound: float) -> str:
+    """Bucket-bound label: integral floats print as integers, +inf as ``+Inf``."""
+    if bound == float("inf"):
+        return "+Inf"
+    if float(bound).is_integer():
+        return str(int(bound))
+    return repr(float(bound))
+
+
+class Histogram:
+    """A cumulative-bucket distribution (Prometheus-style ``le`` semantics).
+
+    ``buckets`` holds the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last bound.  ``counts[i]`` is the number
+    of observations ``<= buckets[i]`` *in that bucket alone* (per-bucket,
+    not cumulative — the exporter cumulates).
+    """
+
+    __slots__ = ("name", "help", "buckets", "counts", "sum", "count", "observe")
+
+    def __init__(
+        self, name: str, buckets: Optional[Sequence[float]] = None, help: str = ""
+    ) -> None:
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.buckets = bounds
+        self.counts: List[int] = [0] * (len(bounds) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+        self.observe = NOOP
+
+    def _observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def _enable(self) -> None:
+        self.observe = self._observe
+
+    def _disable(self) -> None:
+        self.observe = NOOP
+
+    def _clear(self) -> None:
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument in this process."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, Instrument] = {}
+        self._enabled = False
+
+    # -- instrument factories ------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, **kwargs) -> Instrument:
+        instrument = self._instruments.get(name)
+        if instrument is not None:
+            if not isinstance(instrument, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not {kind.__name__}"
+                )
+            return instrument
+        instrument = kind(name, **kwargs)
+        if self._enabled:
+            instrument._enable()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, help=help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, help=help)
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None, help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, buckets=buckets, help=help)
+
+    # -- enablement ----------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        """Swap every instrument's methods to the recording implementations."""
+        self._enabled = True
+        for instrument in self._instruments.values():
+            instrument._enable()
+
+    def disable(self) -> None:
+        """Swap every instrument's methods back to the shared no-op."""
+        self._enabled = False
+        for instrument in self._instruments.values():
+            instrument._disable()
+
+    def reset(self) -> None:
+        """Zero every instrument's value without changing enablement."""
+        for instrument in self._instruments.values():
+            instrument._clear()
+
+    # -- introspection -------------------------------------------------------
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def instruments(self) -> List[Instrument]:
+        return [self._instruments[name] for name in self.names()]
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-serializable state: ``{"counters": {...}, "gauges": {...},
+        "histograms": {...}}`` with names sorted for deterministic output."""
+        counters: Dict[str, object] = {}
+        gauges: Dict[str, object] = {}
+        histograms: Dict[str, object] = {}
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                counters[name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[name] = instrument.value
+            else:
+                buckets = {
+                    format_bound(bound): count
+                    for bound, count in zip(
+                        instrument.buckets + (float("inf"),), instrument.counts
+                    )
+                }
+                histograms[name] = {
+                    "count": instrument.count,
+                    "sum": instrument.sum,
+                    "buckets": buckets,
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+    def absorb(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another process's :meth:`snapshot` into this registry.
+
+        Counters and histogram counts/sums add; gauges take the absorbed
+        value (point-in-time semantics — the most recent report wins).
+        Unknown instruments are created on the fly so worker-only metrics
+        survive the merge.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).value += value
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(name).value = value
+        for name, state in snapshot.get("histograms", {}).items():
+            bounds = [
+                float("inf") if label == "+Inf" else float(label)
+                for label in state.get("buckets", {})
+            ]
+            finite = sorted(bound for bound in bounds if bound != float("inf"))
+            histogram = self.histogram(name, buckets=finite or None)
+            labels = [format_bound(b) for b in histogram.buckets + (float("inf"),)]
+            for index, label in enumerate(labels):
+                histogram.counts[index] += int(state["buckets"].get(label, 0))
+            histogram.sum += state.get("sum", 0.0)
+            histogram.count += int(state.get("count", 0))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self._enabled else "disabled"
+        return f"MetricsRegistry({len(self._instruments)} instruments, {state})"
+
+
+#: The process-wide registry every subsystem registers against.
+REGISTRY = MetricsRegistry()
+
+#: Module-level conveniences (bound methods are stable; only the
+#: *instrument* methods swap on enable/disable).
+counter = REGISTRY.counter
+gauge = REGISTRY.gauge
+histogram = REGISTRY.histogram

@@ -1,0 +1,25 @@
+"""Fixtures for the observability tests.
+
+The metrics registry and tracer under test are module-level singletons
+(that is the point: call sites hold them forever), so every test here
+leaves them disabled and zeroed to keep the rest of the suite — which
+assumes telemetry is off — hermetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    """Disable + reset the global telemetry singletons around every test."""
+    obs.disable()
+    obs.reset()
+    obs.clear_context()
+    yield
+    obs.disable()
+    obs.reset()
+    obs.clear_context()

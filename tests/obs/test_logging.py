@@ -1,0 +1,116 @@
+"""Structured logging: formatters, context injection, state replication."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    apply_logging_state,
+    clear_context,
+    current_context,
+    get_logger,
+    logging_state,
+    set_context,
+    setup_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_logging():
+    """Leave the ``repro`` logger tree the way the suite found it."""
+    yield
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)
+    clear_context()
+
+
+class TestContext:
+    def test_set_and_clear(self):
+        set_context(spec="abc123", workload="Oracle")
+        assert current_context() == {"spec": "abc123", "workload": "Oracle"}
+        set_context(spec=None)
+        assert current_context() == {"workload": "Oracle"}
+        clear_context()
+        assert current_context() == {}
+
+
+class TestGetLogger:
+    def test_names_are_rooted_under_repro(self):
+        assert get_logger("engine").name == "repro.engine"
+        assert get_logger("repro.engine").name == "repro.engine"
+        assert get_logger("repro").name == "repro"
+
+
+class TestHumanFormat:
+    def test_line_carries_level_logger_and_context(self):
+        stream = io.StringIO()
+        setup_logging(level="info", stream=stream)
+        set_context(spec="deadbeef", workload="ocean")
+        get_logger("engine").info("simulated %s", "a point")
+        line = stream.getvalue().strip()
+        assert " info " in line
+        assert "repro.engine: simulated a point" in line
+        assert "[spec=deadbeef workload=ocean]" in line
+
+    def test_level_filtering(self):
+        stream = io.StringIO()
+        setup_logging(level="warning", stream=stream)
+        get_logger("engine").info("suppressed")
+        get_logger("engine").warning("kept")
+        assert "suppressed" not in stream.getvalue()
+        assert "kept" in stream.getvalue()
+
+
+class TestJsonLines:
+    def test_each_line_is_one_json_object(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_lines=True, stream=stream)
+        set_context(spec="cafe01")
+        logger = get_logger("engine")
+        logger.info("first")
+        logger.info("second")
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["msg"] == "first"
+        assert first["level"] == "info"
+        assert first["logger"] == "repro.engine"
+        assert first["spec"] == "cafe01"
+        assert isinstance(first["ts"], float)
+
+    def test_extra_fields_pass_through(self):
+        stream = io.StringIO()
+        setup_logging(level="info", json_lines=True, stream=stream)
+        get_logger("engine").info("point done", extra={"elapsed": 1.25})
+        record = json.loads(stream.getvalue())
+        assert record["elapsed"] == 1.25
+
+
+class TestSetup:
+    def test_idempotent_reconfiguration_keeps_one_handler(self):
+        stream = io.StringIO()
+        setup_logging(level="info", stream=stream)
+        setup_logging(level="debug", stream=stream)
+        logger = logging.getLogger("repro")
+        assert len(logger.handlers) == 1
+        get_logger("engine").info("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            setup_logging(level="loudest")
+
+
+class TestStateReplication:
+    def test_state_round_trips_into_a_fresh_process_shape(self):
+        setup_logging(level="debug", json_lines=True, stream=io.StringIO())
+        state = logging_state()
+        assert state == {"level": "debug", "json_lines": True}
+        # What a pool worker does with the shipped state:
+        apply_logging_state(state)
+        logger = logging.getLogger("repro")
+        assert logger.level == logging.DEBUG

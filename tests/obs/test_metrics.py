@@ -1,0 +1,175 @@
+"""Metrics registry: free disabled path, enable/disable swap, absorb."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    NOOP,
+    format_bound,
+)
+
+
+class TestDisabledPath:
+    """Disabled instruments must cost one shared no-op call, nothing more."""
+
+    def test_disabled_methods_are_the_shared_noop(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h")
+        # Identity, not equality: every disabled method is literally the one
+        # module-level function, so there is no per-instrument closure.
+        assert counter.inc is NOOP
+        assert counter.add is NOOP
+        assert gauge.set is NOOP and gauge.inc is NOOP and gauge.dec is NOOP
+        assert histogram.observe is NOOP
+
+    def test_disabled_calls_record_nothing(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        histogram = registry.histogram("h")
+        for _ in range(100):
+            counter.inc()
+            counter.add(5)
+            histogram.observe(3.0)
+        assert counter.value == 0
+        assert histogram.count == 0
+        assert histogram.sum == 0.0
+        assert all(count == 0 for count in histogram.counts)
+
+    def test_instrument_created_while_enabled_records_immediately(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        counter = registry.counter("late")
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestEnableDisable:
+    def test_enable_swaps_in_recording_implementations(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        registry.enable()
+        assert counter.inc is not NOOP
+        counter.inc()
+        counter.add(4)
+        assert counter.value == 5
+
+    def test_disable_swaps_noops_back_and_keeps_value(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        registry.enable()
+        counter.add(7)
+        registry.disable()
+        assert counter.inc is NOOP
+        counter.inc()  # free and ignored
+        assert counter.value == 7
+
+    def test_reset_zeroes_without_changing_enablement(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        counter = registry.counter("c")
+        gauge = registry.gauge("g")
+        histogram = registry.histogram("h")
+        counter.add(3)
+        gauge.set(9.5)
+        histogram.observe(2.0)
+        registry.reset()
+        assert counter.value == 0
+        assert gauge.value == 0.0
+        assert histogram.count == 0 and histogram.sum == 0.0
+        assert registry.enabled
+        counter.inc()
+        assert counter.value == 1
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        assert registry.counter("same") is registry.counter("same")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("metric")
+        with pytest.raises(TypeError, match="already registered"):
+            registry.gauge("metric")
+
+    def test_names_are_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            registry.counter(name)
+        assert registry.names() == ["alpha", "mid", "zeta"]
+
+
+class TestHistogram:
+    def test_buckets_partition_observations(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        histogram = registry.histogram("h", buckets=[1, 10])
+        for value in (0.5, 5.0, 50.0):
+            histogram.observe(value)
+        snapshot = registry.snapshot()["histograms"]["h"]
+        assert snapshot["buckets"] == {"1": 1, "10": 1, "+Inf": 1}
+        assert snapshot["count"] == 3
+        assert snapshot["sum"] == pytest.approx(55.5)
+
+    def test_boundary_value_lands_in_its_le_bucket(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        histogram = registry.histogram("h", buckets=[1, 10])
+        histogram.observe(1.0)  # le="1" bucket includes the bound itself
+        assert registry.snapshot()["histograms"]["h"]["buckets"]["1"] == 1
+
+    def test_default_buckets_are_powers_of_two(self):
+        assert DEFAULT_BUCKETS[0] == 1
+        assert all(b == 2 * a for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))
+
+    def test_empty_bucket_list_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=[])
+
+
+class TestFormatBound:
+    def test_integral_and_inf_bounds(self):
+        assert format_bound(4.0) == "4"
+        assert format_bound(float("inf")) == "+Inf"
+        assert format_bound(0.5) == "0.5"
+
+
+class TestAbsorb:
+    """Cross-process merge semantics: counters add, gauges overwrite."""
+
+    def _populated(self):
+        registry = MetricsRegistry()
+        registry.enable()
+        registry.counter("c").add(10)
+        registry.gauge("g").set(3.0)
+        hist = registry.histogram("h", buckets=[1, 10])
+        hist.observe(0.5)
+        hist.observe(50.0)
+        return registry
+
+    def test_absorb_adds_counters_and_histograms(self):
+        parent = self._populated()
+        parent.absorb(self._populated().snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 20
+        assert snapshot["histograms"]["h"]["count"] == 4
+        assert snapshot["histograms"]["h"]["buckets"] == {"1": 2, "10": 0, "+Inf": 2}
+
+    def test_absorb_overwrites_gauges(self):
+        parent = self._populated()
+        worker = MetricsRegistry()
+        worker.enable()
+        worker.gauge("g").set(42.0)
+        parent.absorb(worker.snapshot())
+        assert parent.snapshot()["gauges"]["g"] == 42.0
+
+    def test_absorb_creates_unknown_instruments(self):
+        parent = MetricsRegistry()
+        parent.absorb(self._populated().snapshot())
+        snapshot = parent.snapshot()
+        assert snapshot["counters"]["c"] == 10
+        assert snapshot["histograms"]["h"]["count"] == 2

@@ -1,0 +1,132 @@
+"""Phase tracing: nesting accounting, exception safety, absorb, rendering."""
+
+import time
+
+import pytest
+
+from repro.obs.tracing import Tracer, _NULL_SPAN, render_phase_breakdown
+
+
+class TestDisabledPath:
+    def test_disabled_span_is_the_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("anything") is _NULL_SPAN
+        assert tracer.span("other") is _NULL_SPAN
+
+    def test_disabled_spans_record_nothing(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            pass
+        assert tracer.totals() == {}
+        assert tracer.depth == 0
+
+
+class TestNesting:
+    def test_totals_and_counts(self):
+        tracer = Tracer()
+        tracer.enable()
+        for _ in range(3):
+            with tracer.span("outer"):
+                time.sleep(0.001)
+        totals = tracer.totals()
+        assert totals["outer"]["count"] == 3
+        assert totals["outer"]["total_seconds"] >= 0.003
+        assert totals["outer"]["self_seconds"] == pytest.approx(
+            totals["outer"]["total_seconds"]
+        )
+
+    def test_child_time_excluded_from_parent_self_time(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        totals = tracer.totals()
+        outer, inner = totals["outer"], totals["inner"]
+        # outer.total covers inner entirely; outer.self excludes it.
+        assert outer["total_seconds"] >= inner["total_seconds"]
+        assert outer["self_seconds"] == pytest.approx(
+            outer["total_seconds"] - inner["total_seconds"], abs=1e-6
+        )
+        assert inner["self_seconds"] == pytest.approx(inner["total_seconds"])
+
+    def test_sibling_spans_both_charge_the_parent(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                time.sleep(0.002)
+            with tracer.span("a"):
+                time.sleep(0.002)
+        totals = tracer.totals()
+        assert totals["a"]["count"] == 2
+        assert totals["outer"]["self_seconds"] == pytest.approx(
+            totals["outer"]["total_seconds"] - totals["a"]["total_seconds"], abs=1e-6
+        )
+
+    def test_depth_tracks_open_spans(self):
+        tracer = Tracer()
+        tracer.enable()
+        with tracer.span("outer"):
+            assert tracer.depth == 1
+            with tracer.span("inner"):
+                assert tracer.depth == 2
+        assert tracer.depth == 0
+
+
+class TestExceptionSafety:
+    def test_raising_body_still_records_and_unwinds(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise RuntimeError("boom")
+        totals = tracer.totals()
+        assert totals["outer"]["count"] == 1
+        assert totals["inner"]["count"] == 1
+        assert tracer.depth == 0
+
+    def test_tracer_still_usable_after_exception(self):
+        tracer = Tracer()
+        tracer.enable()
+        with pytest.raises(ValueError):
+            with tracer.span("failing"):
+                raise ValueError
+        with tracer.span("after"):
+            pass
+        assert tracer.totals()["after"]["count"] == 1
+
+
+class TestAbsorb:
+    def test_absorb_merges_counts_and_seconds(self):
+        a, b = Tracer(), Tracer()
+        for tracer in (a, b):
+            tracer.enable()
+            with tracer.span("phase"):
+                pass
+        a.absorb(b.snapshot())
+        assert a.totals()["phase"]["count"] == 2
+
+    def test_absorb_creates_unknown_phases(self):
+        parent, worker = Tracer(), Tracer()
+        worker.enable()
+        with worker.span("worker_only"):
+            pass
+        parent.absorb(worker.snapshot())
+        assert parent.totals()["worker_only"]["count"] == 1
+
+
+class TestRenderPhaseBreakdown:
+    def test_empty_totals_say_so(self):
+        text = render_phase_breakdown({})
+        assert "no spans recorded" in text
+
+    def test_rows_sorted_by_descending_self_time(self):
+        totals = {
+            "small": {"count": 1, "total_seconds": 0.1, "self_seconds": 0.1},
+            "big": {"count": 2, "total_seconds": 0.9, "self_seconds": 0.9},
+        }
+        text = render_phase_breakdown(totals)
+        assert text.index("big") < text.index("small")
+        assert "90.0%" in text and "10.0%" in text
