@@ -24,7 +24,7 @@ comparison the paper performs.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
@@ -144,6 +144,27 @@ class PageMapper:
         if shift is not None:
             return (physical_pages << shift) | offsets
         return physical_pages * self._page_bytes + offsets
+
+    def translate_blocks(
+        self,
+        virtual_addresses: np.ndarray,
+        offset_bits: int,
+        num_slices: int,
+    ) -> "Tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Fused whole-chunk address resolution for the coherence system.
+
+        Translates a chunk of virtual byte addresses and derives the three
+        arrays every batched access needs: the physical block address, the
+        slice-local address (block with the interleaving bits stripped) and
+        the home slice.  Equivalent to :meth:`translate_batch` followed by
+        a shift and a divmod; fused here so the batch front-end performs
+        one call per chunk and the interleaving rule stays written in one
+        place alongside the translation it depends on.
+        """
+        physical = self.translate_batch(virtual_addresses)
+        blocks = physical >> offset_bits
+        locals_, homes = np.divmod(blocks, num_slices)
+        return blocks, locals_, homes
 
     def _allocate(self) -> int:
         if len(self._allocated) >= self._physical_pages:

@@ -247,6 +247,33 @@ class CuckooDirectory(Directory):
             )
         return self._insert_results[attempts]
 
+    def drain_handles(self) -> Optional[tuple]:
+        """Internal-state bundle for the batched drain's inlined directory ops.
+
+        The whole-chunk kernel's miss drain (``TiledCMP._drain_batch``)
+        inlines ``lookup_add``/``acquire_exclusive``/``remove_sharer`` over
+        these structures, manipulating the cuckoo table's locator/way arrays
+        and the sharer bit masks directly and flushing the statistics once
+        per chunk — bit-identical to the method calls, minus the per-access
+        call overhead.  Only the plain full-bit-vector encoding on the exact
+        base class qualifies: subclasses (the stashed variant) and richer
+        sharer encodings override operation semantics the inlined sequences
+        do not reproduce, so they return ``None`` and keep the method-call
+        path.
+        """
+        if type(self) is not CuckooDirectory or self._sharer_cls is not FullBitVector:
+            return None
+        table = self._table
+        return (
+            table,
+            table._locator,
+            table._keys,
+            table._values,
+            table._way_orders,
+            self._sharer_pool,
+            self._stats,
+        )
+
     def remove_sharer(self, address: int, cache_id: int) -> None:
         if not 0 <= cache_id < self._num_caches:
             self._check_cache(cache_id)

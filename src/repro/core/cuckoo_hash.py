@@ -35,6 +35,17 @@ elements and allocates nothing; there is no per-slot wrapper object to
 create, chase or collect.  The per-way hash functions are hoisted into a
 local tuple of closures (:meth:`~repro.hashing.base.HashFamily.
 way_functions`) so the walk does no way dispatch either.
+
+Alongside the way arrays the table maintains a *locator* dict mapping each
+stored key to its current ``(way, index)`` slot.  The way arrays stay the
+ground truth (occupancy scans, iteration and the displacement walk read
+them directly); the locator is a derived index kept in lockstep by every
+placement, displacement and removal, and it turns the read-side methods —
+``get``/``find``/``get_slot``/``__contains__`` and ``insert``'s presence
+check — into a single dict probe instead of a d-way candidate scan.  This
+mirrors what the hardware gets for free: the d probes happen in parallel
+in silicon, while a software model pays them serially unless it shortcuts
+the search.
 """
 
 from __future__ import annotations
@@ -52,9 +63,11 @@ __all__ = ["InsertOutcome", "InsertResult", "CuckooHashTable"]
 _EMPTY = -1
 
 #: Bound on the per-table key -> candidate-indices cache.  Hash functions
-#: are pure, so the cache is dumped wholesale (and cheaply refilled) when a
-#: table has seen more distinct keys than this; the limit exists only to
-#: bound memory on footprints far larger than any directory working set.
+#: are pure, so entries never go stale; the limit exists only to bound
+#: memory on footprints far larger than any directory working set.  At the
+#: bound the *oldest* entry is evicted (FIFO over insertion order — dicts
+#: iterate in insertion order), so a steady-state working set keeps its hot
+#: keys cached instead of being dumped wholesale and re-hashed from scratch.
 _INDICES_CACHE_LIMIT = 1 << 15
 
 
@@ -127,6 +140,10 @@ class CuckooHashTable:
         self._indices_fn = self._hashes.indices_function()
         self._keys: List[List[int]] = [[_EMPTY] * num_sets for _ in range(num_ways)]
         self._values: List[List[Any]] = [[None] * num_sets for _ in range(num_ways)]
+        # Derived reverse index: key -> (way, index) of its current slot.
+        # Kept in lockstep with the way arrays by every placement,
+        # displacement-walk step and removal (see the module docstring).
+        self._locator: Dict[int, Tuple[int, int]] = {}
         self._size = 0
         self._start_way = 0
         # Round-robin probe orders: _way_orders[s] is the way sequence for
@@ -190,7 +207,10 @@ class CuckooHashTable:
         indices = cache.get(key)
         if indices is None:
             if len(cache) >= _INDICES_CACHE_LIMIT:
-                cache.clear()
+                # FIFO eviction: drop the oldest cached key (dicts iterate
+                # in insertion order), keeping the cache exactly at the
+                # bound instead of dumping the whole working set.
+                del cache[next(iter(cache))]
             indices = self._indices_fn(key)
             cache[key] = indices
         return indices
@@ -200,41 +220,21 @@ class CuckooHashTable:
     ) -> Optional[Tuple[int, int]]:
         """Locate ``key``; returns its ``(way, index)`` or ``None``.
 
-        ``candidate_indices`` optionally supplies the key's per-way set
-        indices (from :meth:`~repro.hashing.base.HashFamily.batch_indices`)
-        so a batched caller pays no per-call hashing.
+        ``candidate_indices`` is accepted for signature compatibility with
+        batched callers but no longer consulted: the locator resolves the
+        slot in one probe regardless.
         """
-        if key < 0:  # would otherwise match the _EMPTY sentinel
-            return None
-        keys = self._keys
-        if candidate_indices is None:
-            candidate_indices = self._indices_of(key)
-        for way, index in enumerate(candidate_indices):
-            if keys[way][index] == key:
-                return way, index
-        return None
+        return self._locator.get(key)
 
     def get(self, key: int, default: Any = None) -> Any:
-        if key < 0:  # would otherwise match the _EMPTY sentinel
+        location = self._locator.get(key)
+        if location is None:
             return default
-        keys = self._keys
-        # Cache protocol inlined from _indices_of: get() is the single
-        # hottest method and the call overhead is measurable.  Keep the
-        # two in lockstep.
-        cache = self._indices_cache
-        indices = cache.get(key)
-        if indices is None:
-            if len(cache) >= _INDICES_CACHE_LIMIT:
-                cache.clear()
-            indices = self._indices_fn(key)
-            cache[key] = indices
-        for way, index in enumerate(indices):
-            if keys[way][index] == key:
-                return self._values[way][index]
-        return default
+        way, index = location
+        return self._values[way][index]
 
     def __contains__(self, key: int) -> bool:
-        return self.find(key) is not None
+        return key in self._locator
 
     def items(self) -> Iterator[Tuple[int, Any]]:
         """All stored ``(key, value)`` pairs (iteration order unspecified)."""
@@ -265,15 +265,11 @@ class CuckooHashTable:
         """
         if key < 0:
             raise ValueError("keys must be non-negative")
-        keys = self._keys
-        values = self._values
-        if candidate_indices is None:
-            candidate_indices = self._indices_of(key)
-
-        for way, index in enumerate(candidate_indices):
-            if keys[way][index] == key:
-                values[way][index] = value
-                return self._updated_result
+        location = self._locator.get(key)
+        if location is not None:
+            way, index = location
+            self._values[way][index] = value
+            return self._updated_result
         return self.insert_absent(key, value, candidate_indices)
 
     def insert_absent(
@@ -293,6 +289,7 @@ class CuckooHashTable:
         keys = self._keys
         values = self._values
         way_fns = self._way_fns
+        locator = self._locator
         if candidate_indices is None:
             candidate_indices = self._indices_of(key)
 
@@ -305,11 +302,16 @@ class CuckooHashTable:
             if keys[way][index] == _EMPTY:
                 keys[way][index] = key
                 values[way][index] = value
+                locator[key] = (way, index)
                 self._size += 1
                 self._start_way = way
                 return self._inserted_results[1]
 
-        # All candidates are occupied: displacement walk.
+        # All candidates are occupied: displacement walk.  Each placement
+        # updates the displaced entry's locator slot; the victim's stale
+        # entry is overwritten when the walk re-places it (or popped below
+        # when the cut-off walk discards it), so the locator is consistent
+        # again by the time the walk returns.
         current_key = key
         current_value = value
         way = start_way
@@ -328,6 +330,7 @@ class CuckooHashTable:
             victim_value = way_values[index]
             way_keys[index] = current_key
             way_values[index] = current_value
+            locator[current_key] = (way, index)
             if victim_key == _EMPTY:
                 self._size += 1
                 self._start_way = way
@@ -341,6 +344,7 @@ class CuckooHashTable:
         # Walk cut off: the most recently displaced entry is discarded.  The
         # new key itself has been written into the table (self._size is
         # unchanged: one entry in, one entry out).
+        del locator[current_key]
         self._start_way = way
         return InsertResult(
             outcome=InsertOutcome.EVICTED_VICTIM,
@@ -356,25 +360,17 @@ class CuckooHashTable:
         stored value and the slot (to :meth:`clear_slot` it afterwards) pay
         a single candidate scan.
         """
-        if key < 0:  # would otherwise match the _EMPTY sentinel
+        location = self._locator.get(key)
+        if location is None:
             return None
-        keys = self._keys
-        # Cache protocol inlined from _indices_of; keep in lockstep with get().
-        cache = self._indices_cache
-        indices = cache.get(key)
-        if indices is None:
-            if len(cache) >= _INDICES_CACHE_LIMIT:
-                cache.clear()
-            indices = self._indices_fn(key)
-            cache[key] = indices
-        for way, index in enumerate(indices):
-            if keys[way][index] == key:
-                return way, index, self._values[way][index]
-        return None
+        way, index = location
+        return way, index, self._values[way][index]
 
     def clear_slot(self, way: int, index: int) -> None:
         """Vacate a slot previously located with :meth:`get_slot`/:meth:`find`."""
-        self._keys[way][index] = _EMPTY
+        way_keys = self._keys[way]
+        del self._locator[way_keys[index]]
+        way_keys[index] = _EMPTY
         self._values[way][index] = None
         self._size -= 1
 
@@ -390,6 +386,7 @@ class CuckooHashTable:
         for way in range(self._num_ways):
             self._keys[way] = [_EMPTY] * self._num_sets
             self._values[way] = [None] * self._num_sets
+        self._locator.clear()
         self._size = 0
         self._start_way = 0
 

@@ -235,3 +235,55 @@ def test_property_matches_reference_dict_when_capacity_sufficient(operations):
             reference.pop(key, None)
     assert dict(table.items()) == reference
     assert len(table) == len(reference)
+
+
+class TestIndicesCacheBoundary:
+    """The key -> candidate-indices cache evicts FIFO at its bound."""
+
+    def test_fifo_eviction_at_the_limit(self, monkeypatch):
+        import repro.core.cuckoo_hash as module
+
+        monkeypatch.setattr(module, "_INDICES_CACHE_LIMIT", 4)
+        table = make_table()
+        for key in range(4):
+            table._indices_of(key)
+        assert list(table._indices_cache) == [0, 1, 2, 3]
+
+        # One past the bound: exactly the oldest entry (key 0) leaves.
+        table._indices_of(4)
+        assert list(table._indices_cache) == [1, 2, 3, 4]
+
+        # A cache hit must not reorder or evict anything (FIFO, not LRU).
+        table._indices_of(2)
+        assert list(table._indices_cache) == [1, 2, 3, 4]
+
+        # The next miss still evicts insertion-order-oldest, not
+        # least-recently-used.
+        table._indices_of(5)
+        assert list(table._indices_cache) == [2, 3, 4, 5]
+
+    def test_cached_and_recomputed_indices_agree(self, monkeypatch):
+        import repro.core.cuckoo_hash as module
+
+        monkeypatch.setattr(module, "_INDICES_CACHE_LIMIT", 2)
+        table = make_table()
+        fresh = [table._indices_fn(key) for key in range(6)]
+        for key in range(6):  # every lookup past key 1 evicts one entry
+            assert table._indices_of(key) == fresh[key]
+        for key in range(6):  # re-probe: half cached, half recomputed
+            assert table._indices_of(key) == fresh[key]
+        assert len(table._indices_cache) == 2
+
+    def test_table_operations_survive_a_tiny_cache(self, monkeypatch):
+        import repro.core.cuckoo_hash as module
+
+        monkeypatch.setattr(module, "_INDICES_CACHE_LIMIT", 1)
+        table = make_table()
+        for key in range(100):
+            assert table.insert(key, key * 3).success
+        for key in range(100):
+            assert table.get(key) == key * 3
+        for key in range(0, 100, 2):
+            assert table.remove(key)
+        assert len(table) == 50
+        assert table.get(51) == 153

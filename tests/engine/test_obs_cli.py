@@ -53,8 +53,12 @@ class TestMetricsOut:
         assert counters["sim.run.measured_accesses"] == 1500
         assert counters["sim.batch.chunks"] >= 1
         assert counters["store.puts"] == 1
-        assert "batch_kernel" in document["phases"]
-        assert "translate" in document["phases"]
+        # The batch front-end phase depends on which kernel ran: the
+        # scalar loop traces "batch_kernel", the whole-chunk kernel
+        # traces "hit_kernel" (+ "miss_drain" when anything drains).
+        phases = document["phases"]
+        assert "batch_kernel" in phases or "hit_kernel" in phases
+        assert "translate" in phases
         sweep = document["meta"]["sweep"]
         assert sweep["total"] == 1 and sweep["done"] == 1
         assert "metrics written to" in capsys.readouterr().err
@@ -72,7 +76,7 @@ class TestProgressOutput:
         # capsys streams are not TTYs, so the renderer emits plain lines.
         assert "1/1" in err
         assert "Phase breakdown" in err
-        assert "batch_kernel" in err
+        assert "batch_kernel" in err or "hit_kernel" in err
 
     def test_quiet_suppresses_progress(self, capsys, store_path):
         assert main(_sweep_argv(store_path, "--quiet")) == 0

@@ -193,7 +193,15 @@ class TestPooledHeartbeats:
         measured = obs.REGISTRY.counter("sim.run.measured_accesses").value
         assert measured == 4 * 1_000
         phases = obs.TRACER.totals()
-        assert phases["batch_kernel"]["count"] >= 4
+        # Each run traces its batch front-end under "batch_kernel"
+        # (scalar loop) or "hit_kernel" (whole-chunk kernel), depending
+        # on which kernel the per-chunk heuristic picked.
+        batch_spans = sum(
+            phases[name]["count"]
+            for name in ("batch_kernel", "hit_kernel")
+            if name in phases
+        )
+        assert batch_spans >= 4
         assert len(report.worker_pids) >= 1
 
     def test_no_monitor_means_no_queue_but_results_still_flow(self, start_method):
