@@ -123,6 +123,46 @@ class _Sum:
         return self.total
 
 
+class _Quantile:
+    """Exact quantile accumulator (retains the group's values).
+
+    Unlike the O(1)-state reductions above this one holds every added
+    value, so its memory is proportional to the group size — fine for the
+    envelope aggregation of downsampled timelines it exists for (hundreds
+    of values per bucket), not for unbounded streams.  Interpolation is
+    linear between closest ranks, matching ``numpy.quantile``'s default.
+    """
+
+    __slots__ = ("values", "q")
+
+    def __init__(self, q: float) -> None:
+        self.values: List[float] = []
+        self.q = q
+
+    def add(self, value: float) -> None:
+        self.values.append(value)
+
+    def value(self) -> float:
+        if not self.values:
+            return 0.0
+        ordered = sorted(self.values)
+        position = self.q * (len(ordered) - 1)
+        low = int(math.floor(position))
+        high = int(math.ceil(position))
+        if low == high:
+            return ordered[low]
+        fraction = position - low
+        return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+def _p50() -> _Quantile:
+    return _Quantile(0.50)
+
+
+def _p95() -> _Quantile:
+    return _Quantile(0.95)
+
+
 class _Count:
     __slots__ = ("count",)
 
@@ -175,6 +215,8 @@ REDUCTIONS: Dict[str, Callable[[], object]] = {
     "count": _Count,
     "first": _First,
     "last": _Last,
+    "p50": _p50,
+    "p95": _p95,
 }
 
 

@@ -26,7 +26,7 @@ sampling semantics, so their results are bit-identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +35,7 @@ from repro.coherence.messages import TrafficStats
 from repro.coherence.system import MemoryAccess, TiledCMP
 from repro.directories.base import DirectoryStats
 from repro.obs.metrics import counter as _obs_counter
+from repro.obs.timeline import Timeline
 from repro.obs.tracing import TRACER as _TRACER
 
 __all__ = ["SimulationResult", "TraceSimulator", "TraceChunk"]
@@ -55,6 +56,9 @@ _OCC_SAMPLES = _obs_counter(
 )
 _SAMPLED_WINDOWS = _obs_counter(
     "sim.run.sampled_windows", help="SMARTS measurement windows completed"
+)
+_TIMELINE_SAMPLES = _obs_counter(
+    "sim.run.timeline_samples", help="full timeline channel samples taken"
 )
 
 #: Parallel per-access field sequences: (cores, addresses, writes, instrs).
@@ -87,7 +91,18 @@ class SimulationResult:
     traffic: TrafficStats
     cache_hit_rate: float
     average_occupancy: float
-    occupancy_samples: List[float] = field(default_factory=list)
+    #: The run's counter timeline.  Always carries the occupancy channel
+    #: (the store of what used to be an ad-hoc ``List[float]``); the full
+    #: channel set exists only when the simulator was built with a
+    #: ``timeline_interval``.
+    timeline: Optional[Timeline] = None
+
+    @property
+    def occupancy_samples(self) -> List[float]:
+        """Occupancy samples as plain floats (the pre-timeline interface)."""
+        if self.timeline is None:
+            return []
+        return self.timeline.occupancy_list()
 
     @property
     def average_insertion_attempts(self) -> float:
@@ -109,18 +124,30 @@ class TraceSimulator:
         system: TiledCMP,
         warmup_accesses: int = 0,
         occupancy_sample_interval: int = 1000,
+        timeline_interval: Optional[int] = None,
     ) -> None:
         if warmup_accesses < 0:
             raise ValueError("warmup_accesses must be non-negative")
         if occupancy_sample_interval <= 0:
             raise ValueError("occupancy_sample_interval must be positive")
+        if timeline_interval is not None and timeline_interval <= 0:
+            raise ValueError("timeline_interval must be positive")
         self._system = system
         self._warmup = warmup_accesses
         self._sample_interval = occupancy_sample_interval
+        self._timeline_interval = timeline_interval
 
     @property
     def system(self) -> TiledCMP:
         return self._system
+
+    def _make_timeline(self, mode: str = "interval") -> Timeline:
+        return Timeline(
+            occupancy_interval=self._sample_interval,
+            interval=self._timeline_interval,
+            banks=len(self._system.directories),
+            mode=mode,
+        )
 
     def run(
         self,
@@ -138,7 +165,8 @@ class TraceSimulator:
         system = self._system
         warmup = self._warmup
         interval = self._sample_interval
-        occupancy_samples: List[float] = []
+        tl_interval = self._timeline_interval
+        timeline = self._make_timeline()
         measured = 0
         iterator: Iterator[MemoryAccess] = iter(trace)
 
@@ -149,11 +177,14 @@ class TraceSimulator:
             if position >= warmup:
                 measured += 1
                 if measured % interval == 0:
-                    occupancy_samples.append(system.sample_occupancy())
+                    timeline.record_occupancy(system.sample_occupancy())
+                if tl_interval is not None and measured % tl_interval == 0:
+                    timeline.sample(system)
+                    _TIMELINE_SAMPLES.inc()
                 if max_accesses is not None and measured >= max_accesses:
                     break
 
-        return self._build_result(measured, occupancy_samples)
+        return self._build_result(measured, timeline)
 
     def run_chunks(
         self,
@@ -164,17 +195,24 @@ class TraceSimulator:
 
         Each chunk is executed through the system's batched front-end in
         sub-slices that end exactly at the warm-up boundary, at every
-        occupancy-sample point and at the measurement end, so warm-up and
-        sampling behave per-access even though execution is batched.
+        occupancy-sample point, at every timeline-sample point and at the
+        measurement end, so warm-up and sampling behave per-access even
+        though execution is batched.  Because the timeline only ever
+        observes the system at these sub-slice boundaries — where the
+        scalar and vector chunk kernels are bit-identical — enabling it
+        cannot change any measured statistic, and both kernels produce
+        byte-identical timelines.
         """
         system = self._system
         access_batch = system.access_batch
         warmup = self._warmup
         interval = self._sample_interval
-        occupancy_samples: List[float] = []
+        tl_interval = self._timeline_interval
+        timeline = self._make_timeline()
         position = 0
         measured = 0
         until_sample = interval
+        until_timeline = tl_interval
         # A non-positive bound behaves like the original ``measured >= max``
         # check: the first measured access trips it.
         remaining = max(1, max_accesses) if max_accesses is not None else None
@@ -203,6 +241,8 @@ class TraceSimulator:
                 span = length - offset
                 if span > until_sample:
                     span = until_sample
+                if until_timeline is not None and span > until_timeline:
+                    span = until_timeline
                 if remaining is not None and span > remaining:
                     span = remaining
                 access_batch(cores, addresses, writes, instrs, offset, offset + span)
@@ -213,15 +253,22 @@ class TraceSimulator:
                 _MEASURED_ACCESSES.add(span)
                 if until_sample == 0:
                     with _TRACER.span("occupancy_sampling"):
-                        occupancy_samples.append(system.sample_occupancy())
+                        timeline.record_occupancy(system.sample_occupancy())
                     _OCC_SAMPLES.inc()
                     until_sample = interval
+                if until_timeline is not None:
+                    until_timeline -= span
+                    if until_timeline == 0:
+                        with _TRACER.span("timeline_sampling"):
+                            timeline.sample(system)
+                        _TIMELINE_SAMPLES.inc()
+                        until_timeline = tl_interval
                 if remaining is not None:
                     remaining -= span
                     if remaining == 0:
-                        return self._build_result(measured, occupancy_samples)
+                        return self._build_result(measured, timeline)
 
-        return self._build_result(measured, occupancy_samples)
+        return self._build_result(measured, timeline)
 
     def run_sampled(
         self,
@@ -245,7 +292,14 @@ class TraceSimulator:
         The constructor's ``warmup_accesses`` is not applied here (each
         window brings its own warming); windows end when ``max_windows``
         is reached or the trace runs dry.  A partially measured final
-        window is discarded.  Returns ``(result, windows_measured)``.
+        window is discarded — including its pending occupancy samples.
+        Returns ``(result, windows_measured)``.
+
+        When a ``timeline_interval`` was configured, the full channel set
+        samples once per *completed* window (mode ``"window"``): the
+        per-window statistics reset makes a finer cadence meaningless for
+        cumulative counters, and one point per window is exactly the
+        federated per-window summary the merge reports.
         """
         if measure_window <= 0:
             raise ValueError("measure_window must be positive")
@@ -264,13 +318,16 @@ class TraceSimulator:
         cache_accesses = 0
         measured_total = 0
         windows = 0
-        occupancy_samples: List[float] = []
+        timeline = self._make_timeline(mode="window")
 
         measuring = skip_window == 0
         remaining = measure_window if measuring else skip_window
         if measuring:
             system.reset_stats()
+            timeline.mark_reset()
         until_sample = interval
+        # Occupancy samples buffer per window and flush only when the
+        # window completes, preserving the discard-partial-window rule.
         window_samples: List[float] = []
         done = False
 
@@ -325,8 +382,12 @@ class TraceSimulator:
                         )
                         if not window_samples:
                             window_samples.append(system.sample_occupancy())
-                        occupancy_samples.extend(window_samples)
+                        timeline.record_occupancy_many(window_samples)
                         window_samples = []
+                        if timeline.enabled:
+                            with _TRACER.span("timeline_sampling"):
+                                timeline.sample(system)
+                            _TIMELINE_SAMPLES.inc()
                         measured_total += measure_window
                         windows += 1
                         _SAMPLED_WINDOWS.inc()
@@ -337,22 +398,26 @@ class TraceSimulator:
                         remaining = skip_window if skip_window else measure_window
                         if measuring:
                             system.reset_stats()
+                            timeline.mark_reset()
                             until_sample = interval
                     else:
                         measuring = True
                         remaining = measure_window
                         system.reset_stats()
+                        timeline.mark_reset()
                         until_sample = interval
             if done:
                 break
 
         hit_rate = hits / cache_accesses if cache_accesses else 0.0
+        occupancy_samples = timeline.occupancy_list()
         average_occupancy = (
             sum(occupancy_samples) / len(occupancy_samples) if occupancy_samples else 0.0
         )
         if merged is None:
             merged = DirectoryStats()
             per_slice = [DirectoryStats() for _ in system.directories]
+        timeline.publish_gauges()
         result = SimulationResult(
             accesses=measured_total,
             directory_stats=merged,
@@ -360,19 +425,22 @@ class TraceSimulator:
             traffic=traffic,
             cache_hit_rate=hit_rate,
             average_occupancy=average_occupancy,
-            occupancy_samples=occupancy_samples,
+            timeline=timeline,
         )
         return result, windows
 
-    def _build_result(
-        self, measured: int, occupancy_samples: List[float]
-    ) -> SimulationResult:
+    def _build_result(self, measured: int, timeline: Timeline) -> SimulationResult:
         """Assemble the measurement-window statistics (shared by both loops)."""
         system = self._system
         # Always take at least one occupancy sample so short runs report a
-        # meaningful average instead of zero.
-        if measured > 0 and not occupancy_samples:
-            occupancy_samples.append(system.sample_occupancy())
+        # meaningful average instead of zero; same guarantee for the full
+        # channel set so an enabled timeline is never empty.
+        if measured > 0 and not timeline.num_samples("occupancy"):
+            timeline.record_occupancy(system.sample_occupancy())
+        if timeline.enabled and measured > 0 and not timeline.num_samples("occupancy_banks"):
+            timeline.sample(system)
+            _TIMELINE_SAMPLES.inc()
+        occupancy_samples = timeline.occupancy_list()
 
         per_slice = [directory.stats for directory in system.directories]
         merged = system.directory_stats()
@@ -384,6 +452,7 @@ class TraceSimulator:
             if occupancy_samples
             else 0.0
         )
+        timeline.publish_gauges()
         return SimulationResult(
             accesses=measured,
             directory_stats=merged,
@@ -391,5 +460,5 @@ class TraceSimulator:
             traffic=system.traffic,
             cache_hit_rate=hit_rate,
             average_occupancy=average_occupancy,
-            occupancy_samples=occupancy_samples,
+            timeline=timeline,
         )

@@ -319,6 +319,57 @@ class TiledCMP:
         values = [directory.sample_occupancy() for directory in self._directories]
         return sum(values) / len(values)
 
+    # -- timeline hooks (repro.obs.timeline) ----------------------------------
+    # Read-only counter probes for interval sampling.  None of these mutate
+    # statistics — ``bank_occupancies`` deliberately reads ``occupancy()``
+    # rather than ``sample_occupancy()`` — so taking a timeline sample never
+    # changes what the run reports.
+    def timeline_counters(self) -> "dict":
+        """Scalar channel values for one timeline sample."""
+        stats = self.directory_stats()
+        traffic = self._traffic
+        hits = 0
+        accesses = 0
+        for cache in self._tracked:
+            hits += cache.stats.hits
+            accesses += cache.stats.accesses
+        l2_hits = 0
+        l2_accesses = 0
+        if self._l2_banks is not None:
+            for bank in self._l2_banks:
+                l2_hits += bank.stats.hits
+                l2_accesses += bank.stats.accesses
+        return {
+            "forced_invalidations": stats.forced_invalidations,
+            "insertions": stats.insertions,
+            "insertion_attempts": stats.insertion_attempts,
+            "stash_occupancy": sum(
+                directory.stash_occupancy for directory in self._directories
+            ),
+            "tracked_hit_rate": hits / accesses if accesses else 0.0,
+            "shared_l2_hit_rate": l2_hits / l2_accesses if l2_accesses else 0.0,
+            "total_messages": traffic.total_messages,
+            "traffic_bytes": traffic.bytes_transferred,
+            "traffic_hops": traffic.hops,
+        }
+
+    def bank_occupancies(self) -> "list":
+        """Per-slice occupancy fractions, in slice order (non-mutating)."""
+        return [directory.occupancy() for directory in self._directories]
+
+    def attempt_chain_bins(self, bins: int) -> "list":
+        """Insertion-attempt histogram folded into chain-length bins.
+
+        Bin ``i`` counts insertions that took ``i + 1`` attempts; the last
+        bin absorbs everything at or beyond ``bins`` attempts (Figure 11's
+        "5+" bucket for the default five bins).
+        """
+        counts = [0] * bins
+        for directory in self._directories:
+            for attempts, count in directory.stats.attempt_histogram.items():
+                counts[min(max(int(attempts), 1), bins) - 1] += count
+        return counts
+
     def reset_stats(self) -> None:
         """Clear directory, cache and traffic statistics (end of warm-up)."""
         for directory in self._directories:

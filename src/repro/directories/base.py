@@ -299,6 +299,16 @@ class Directory(abc.ABC):
         return value
 
     @property
+    def stash_occupancy(self) -> int:
+        """Entries parked in an overflow stash (0 for stashless designs).
+
+        Stash-backed organizations (:class:`~repro.core.stashed_cuckoo.
+        StashedCuckooDirectory`) override this; the timeline's stash
+        channel reads it uniformly across organizations.
+        """
+        return 0
+
+    @property
     def stats(self) -> DirectoryStats:
         return self._stats
 

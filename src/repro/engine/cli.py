@@ -51,6 +51,8 @@ Examples
     repro-run mix 8xApache+8xocean 8xOracle+8xQry17 --scale 32
     repro-run report fig08 --store /tmp/results.jsonl
     repro-run report fig10 --reference
+    repro-run run fig10 --timeline-interval 1000
+    repro-run report fig10 --timeline --channel occupancy,forced_invalidations
     repro-run report mix --format csv --out mix.csv
     repro-run report --all --group-by workload,organization
     repro-run compare baseline.jsonl candidate.jsonl --fail-on-regression
@@ -118,6 +120,15 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     )
     group.add_argument(
         "--quiet", "-q", action="store_true", help="suppress per-point progress"
+    )
+    group.add_argument(
+        "--timeline-interval",
+        type=int,
+        default=None,
+        metavar="N",
+        help="collect an interval-sampled counter timeline every N measured "
+        "accesses per point, stored beside the result store; render with "
+        "'repro-run report <experiment> --timeline'",
     )
     group.add_argument(
         "--metrics-out",
@@ -370,6 +381,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="append the paper-reference error metrics (digitized figures)",
     )
     report_parser.add_argument(
+        "--timeline",
+        action="store_true",
+        help="report the experiment's stored counter timelines (simulate "
+        "them first with --timeline-interval) instead of the figure table",
+    )
+    report_parser.add_argument(
+        "--channel",
+        type=_csv,
+        default=None,
+        metavar="NAME,...",
+        help="with --timeline: restrict the report to these channels",
+    )
+    report_parser.add_argument(
         "--out", default=None, metavar="PATH", help="write the report to a file"
     )
     report_parser.add_argument("--store", default=None, metavar="PATH")
@@ -487,6 +511,7 @@ def _make_runner(args: argparse.Namespace) -> ParallelRunner:
         progress=progress,
         monitor=monitor,
         tick=tick,
+        timeline_interval=getattr(args, "timeline_interval", None),
     )
     runner.cli_renderer = renderer
     return runner
@@ -892,6 +917,7 @@ def _replay_sampled(args: argparse.Namespace, trace: "object") -> int:
         factory,
         seed=header.seed,
         occupancy_sample_interval=spec.occupancy_sample_interval,
+        timeline_interval=getattr(args, "timeline_interval", None),
     )
     result = sampled.result
     rows = [
@@ -912,6 +938,12 @@ def _replay_sampled(args: argparse.Namespace, trace: "object") -> int:
             f"({args.sample_measure} measure / {args.sample_skip} skip)",
         )
     )
+    if result.timeline is not None and result.timeline.enabled:
+        # Sampled replays bypass the store, so this is the only place the
+        # window-cadence timeline surfaces: one sample per measured window.
+        print()
+        print("Counter timeline (one sample per measured window):")
+        print(result.timeline.render())
     _finish_telemetry(args)
     return 0
 
@@ -1057,6 +1089,85 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report_timeline(args: argparse.Namespace, name: str) -> int:
+    """``repro-run report <experiment> --timeline``: stored counter timelines.
+
+    Never simulates: timelines come from the ``.timelines/`` sidecars the
+    result store wrote when the experiment ran with ``--timeline-interval``.
+    One stored point renders as its full sparkline table; several render as
+    the mean/p95 envelope over normalized run progress.
+    """
+    from repro.analysis.timeline_report import (
+        render_timelines,
+        timelines_to_csv,
+        timelines_to_json,
+    )
+    from repro.engine.registry import EXPERIMENTS
+    from repro.obs.timeline import unknown_channels_message
+
+    channel_error = unknown_channels_message(args.channel)
+    if channel_error:
+        print(channel_error, file=sys.stderr)
+        return 2
+    experiment = EXPERIMENTS[name]
+    if experiment.grid is None:
+        print(
+            f"{name} is analytical — it has no simulation points, so no "
+            f"timelines",
+            file=sys.stderr,
+        )
+        return 2
+    grid_kwargs = {
+        option: value
+        for option, value in (
+            ("workloads", args.workloads),
+            ("scale", args.scale),
+            ("measure_accesses", args.measure_accesses),
+            ("seed", args.seed),
+        )
+        if option in experiment.options and value is not None
+    }
+    grid = experiment.grid(**grid_kwargs)
+    store = ResultStore(_report_store_path(args))
+    labeled = []
+    for spec in grid:
+        timeline = store.get_timeline(spec.key())
+        if timeline is not None:
+            labeled.append((spec.label(), timeline))
+    if not labeled:
+        print(
+            f"no stored timelines for {name} in {store.path}; simulate them "
+            f"first with 'repro-run run {name} --timeline-interval N'",
+            file=sys.stderr,
+        )
+        return 1
+    missing = len(grid) - len(labeled)
+    if missing:
+        print(
+            f"note: {missing} of {len(grid)} points have no stored timeline",
+            file=sys.stderr,
+        )
+    if args.fmt == "csv":
+        _deliver(timelines_to_csv(labeled, channels=args.channel), args.out)
+    elif args.fmt == "json":
+        _deliver(timelines_to_json(labeled, channels=args.channel), args.out)
+    else:
+        _deliver(
+            render_timelines(
+                labeled,
+                channels=args.channel,
+                title=f"{experiment.title} — counter timelines",
+            ),
+            args.out,
+        )
+    if args.reference:
+        print(
+            "--reference applies to figure tables, not --timeline; ignored",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json as json_module
 
@@ -1072,7 +1183,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if args.all and args.experiment:
         print("give an experiment name or --all, not both", file=sys.stderr)
         return 2
+    if args.channel and not args.timeline:
+        print("--channel only applies with --timeline", file=sys.stderr)
+        return 2
     if args.all:
+        if args.timeline:
+            print(
+                "--timeline reports one experiment's stored timelines; "
+                "name the experiment instead of --all",
+                file=sys.stderr,
+            )
+            return 2
         return _cmd_report_all(args)
     if not args.experiment:
         print(
@@ -1093,6 +1214,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
     if workload_error:
         print(workload_error, file=sys.stderr)
         return 2
+    if args.timeline:
+        return _cmd_report_timeline(args, name)
 
     experiment = EXPERIMENTS[name]
     runner = None

@@ -213,6 +213,7 @@ def execute_spec(spec: RunSpec) -> RunResult:
             warmup_accesses=spec.warmup_accesses,
             seed=spec.seed,
             occupancy_sample_interval=spec.occupancy_sample_interval,
+            timeline_interval=spec.timeline_interval,
         )
         elapsed = time.perf_counter() - started
         _LOG.info("simulated %s in %.3fs", spec.label(), elapsed)
@@ -241,7 +242,12 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         }
     try:
         result = execute_spec(spec)
-        return {"status": "ok", "result": result.to_dict()}
+        outcome = {"status": "ok", "result": result.to_dict()}
+        if result.timeline is not None:
+            # Columnar numpy payload; pickles across the pool boundary and
+            # is reattached by ParallelRunner._record_outcome.
+            outcome["timeline"] = result.timeline.to_payload()
+        return outcome
     except Exception as exc:
         return {
             "status": "failed",

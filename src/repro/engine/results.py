@@ -12,7 +12,7 @@ to a freshly simulated one.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.engine.spec import RunSpec
@@ -42,6 +42,11 @@ class RunResult:
     #: Pid of the process that simulated this point ("" for cached/legacy
     #: records); lets ``repro-run report`` aggregate cost per worker.
     worker: str = field(default="", compare=False)
+    #: The run's counter :class:`~repro.obs.timeline.Timeline`, attached
+    #: only when the spec requested one.  Excluded from equality and from
+    #: :meth:`to_dict` — timelines are columnar payloads, persisted as a
+    #: compact ``.npz`` sidecar by the result store, never as JSONL floats.
+    timeline: Optional[object] = field(default=None, compare=False)
 
     def attempt_distribution(self) -> Dict[int, float]:
         """Normalised insertion-attempt histogram (Figure 11)."""
@@ -49,6 +54,10 @@ class RunResult:
         if total == 0:
             return {}
         return {attempts: count / total for attempts, count in self.attempt_histogram}
+
+    def with_timeline(self, timeline: Optional[object]) -> "RunResult":
+        """This result with ``timeline`` attached (results are frozen)."""
+        return replace(self, timeline=timeline)
 
     # -- serialization -------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
@@ -93,6 +102,13 @@ class RunResult:
         sim = run.result
         stats = sim.directory_stats
         histogram = tuple(sorted((int(k), int(v)) for k, v in stats.attempt_histogram.items()))
+        # Only a *requested* timeline rides along: every simulation collects
+        # the always-on occupancy channel, but storing a sidecar per point
+        # for it would bloat every sweep for data already condensed into
+        # average_occupancy.
+        timeline = sim.timeline if spec.timeline_interval is not None else None
+        if timeline is not None and not timeline.enabled:
+            timeline = None
         return cls(
             spec=spec,
             accesses=sim.accesses,
@@ -110,6 +126,7 @@ class RunResult:
             attempt_histogram=histogram,
             elapsed_seconds=elapsed_seconds,
             worker=worker,
+            timeline=timeline,
         )
 
 

@@ -33,7 +33,7 @@ import multiprocessing
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from queue import Empty
 from typing import Callable, Dict, Iterable, List, Optional, Union
 
@@ -45,6 +45,7 @@ from repro.engine.store import ResultStore
 from repro.obs.logging import apply_logging_state, logging_state
 from repro.obs.metrics import REGISTRY
 from repro.obs.progress import SweepMonitor, make_event
+from repro.obs.timeline import Timeline
 from repro.obs.tracing import TRACER
 
 __all__ = [
@@ -222,6 +223,12 @@ class ParallelRunner:
     heartbeat_interval:
         Seconds between worker heartbeats; ``0`` disables the heartbeat
         thread (the online/start/done events still flow).
+    timeline_interval:
+        When set, every grid this runner executes collects an
+        interval-sampled counter timeline (:mod:`repro.obs.timeline`) at
+        that cadence: incoming specs are rewritten with the interval
+        before lookup/execution.  The field is excluded from the spec
+        key, so the rewrite never changes where results are cached.
     """
 
     def __init__(
@@ -233,9 +240,13 @@ class ParallelRunner:
         monitor: Optional[SweepMonitor] = None,
         tick: Optional[Callable[[], None]] = None,
         heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        timeline_interval: Optional[int] = None,
     ) -> None:
         if workers is not None and workers <= 0:
             raise ValueError("workers must be positive")
+        if timeline_interval is not None and timeline_interval <= 0:
+            raise ValueError("timeline_interval must be positive")
+        self._timeline_interval = timeline_interval
         self._workers = workers
         self._store = store
         self._progress = progress
@@ -269,6 +280,13 @@ class ParallelRunner:
         """Execute every point of ``grid``, returning a :class:`GridReport`."""
         if not isinstance(grid, RunGrid):
             grid = RunGrid(grid)
+        if self._timeline_interval is not None:
+            # Key-neutral rewrite: timeline_interval is compare-excluded, so
+            # the drivers' report lookups by their original specs still hit.
+            grid = RunGrid(
+                replace(spec, timeline_interval=self._timeline_interval)
+                for spec in grid
+            )
         started = time.perf_counter()
         report = GridReport()
         total = len(grid)
@@ -309,6 +327,11 @@ class ParallelRunner:
     ) -> None:
         if outcome["status"] == "ok":
             result = RunResult.from_dict(outcome["result"])
+            payload = outcome.get("timeline")
+            if payload is not None:
+                # to_dict() never carries the timeline; reattach it from the
+                # worker's columnar payload before the store persists it.
+                result = result.with_timeline(Timeline.from_payload(payload))
             report.results[result.spec.key()] = result
             report.simulated += 1
             if self._store is not None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import re
-from dataclasses import asdict, dataclass, fields
+from dataclasses import asdict, dataclass, field, fields
 from itertools import product
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -36,7 +36,9 @@ __all__ = [
 #: Version salt mixed into every spec key.  Bump whenever the simulator's
 #: semantics change so that previously cached results are not reused.
 #: v2: trace/mix fields (the trace subsystem).
-SPEC_VERSION = 2
+#: v3: timeline sidecars (records predating them have no stored timeline
+#: to serve, so re-keying keeps ``get`` semantics uniform).
+SPEC_VERSION = 3
 
 #: Default cache-capacity scale factor for experiments (16x smaller caches).
 DEFAULT_SCALE = 16
@@ -71,6 +73,14 @@ class RunSpec:
       to ``num_cores``.  By convention ``workload`` carries the same string
       for labelling.
 
+    ``timeline_interval`` turns on interval-sampled counter timelines
+    (:mod:`repro.obs.timeline`) at that cadence.  It is **excluded from
+    equality and from the content hash**: sampling happens only at
+    sub-slice boundaries where the simulation is bit-identical with or
+    without it, so the same point with and without a timeline is the same
+    result — a cached record can satisfy either request (modulo a stored
+    timeline sidecar; see :meth:`~repro.engine.store.ResultStore.get`).
+
     ``trace_fingerprint`` pins the *contents* of the recording(s) a
     trace/mix point consumes (the trace header fingerprint, or the
     combined :meth:`~repro.traces.mix.MixWorkload.trace_fingerprint` of a
@@ -96,6 +106,7 @@ class RunSpec:
     trace: Optional[str] = None
     mix: Optional[str] = None
     trace_fingerprint: Optional[str] = None
+    timeline_interval: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         # Accept CacheLevel enum members and normalise numeric types so that
@@ -104,7 +115,8 @@ class RunSpec:
         object.__setattr__(self, "tracked_level", str(level))
         object.__setattr__(self, "provisioning", float(self.provisioning))
         for name in ("ways", "num_cores", "scale", "seed", "measure_accesses",
-                     "warmup_accesses", "occupancy_sample_interval"):
+                     "warmup_accesses", "occupancy_sample_interval",
+                     "timeline_interval"):
             value = getattr(self, name)
             if value is None:
                 continue
@@ -136,6 +148,8 @@ class RunSpec:
             raise ValueError("warmup_accesses must be non-negative")
         if self.occupancy_sample_interval <= 0:
             raise ValueError("occupancy_sample_interval must be positive")
+        if self.timeline_interval is not None and self.timeline_interval <= 0:
+            raise ValueError("timeline_interval must be positive")
         if self.trace is not None and self.mix is not None:
             raise ValueError("trace and mix are mutually exclusive")
         if self.trace_fingerprint is not None and self.trace is None and self.mix is None:
@@ -163,12 +177,17 @@ class RunSpec:
     def key(self) -> str:
         """Stable content hash of this spec (the result-store address).
 
-        The key covers every field plus :data:`SPEC_VERSION`, serialized as
-        canonical JSON, so any field change — and any simulator-semantics
-        bump — produces a different key.
+        The key covers every result-determining field plus
+        :data:`SPEC_VERSION`, serialized as canonical JSON, so any such
+        field change — and any simulator-semantics bump — produces a
+        different key.  ``timeline_interval`` is excluded: it cannot
+        change the simulated result (observability only), so the same
+        point with and without a timeline shares one store address.
         """
+        content = self.to_dict()
+        content.pop("timeline_interval", None)
         payload = json.dumps(
-            {"spec_version": SPEC_VERSION, **self.to_dict()},
+            {"spec_version": SPEC_VERSION, **content},
             sort_keys=True,
             separators=(",", ":"),
         )

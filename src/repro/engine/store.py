@@ -8,6 +8,15 @@ parameter change (or a version bump after simulator changes) misses the
 cache and re-simulates.  The store is shared across experiments — a point
 that Figure 9 already simulated is a cache hit when Figure 10 asks for the
 same geometry.
+
+Counter timelines (:mod:`repro.obs.timeline`) are columnar numpy data, so
+they never ride in the JSONL: a result carrying one also writes a compact
+quantized ``.npz`` sidecar under ``<store>.timelines/<key>.npz``.  The
+spec key excludes ``timeline_interval``, so the JSONL record is shared
+between timeline and non-timeline requests; :meth:`ResultStore.get`
+reports a *miss* when the spec asks for a timeline the sidecar cannot
+serve (absent, or sampled at a different cadence), which makes the runner
+re-simulate exactly that point with collection enabled.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 from repro.engine.results import RunResult
 from repro.engine.spec import RunSpec
 from repro.obs.metrics import counter as _obs_counter
+from repro.obs.timeline import Timeline, load_timeline, save_timeline
 from repro.obs.tracing import TRACER as _TRACER
 
 __all__ = [
@@ -156,6 +166,9 @@ class ResultStore:
                     continue  # tolerate truncated/corrupt lines
                 self._records[key] = result  # later lines win
 
+    def _timeline_dir(self) -> Path:
+        return self._path.with_name(self._path.name + ".timelines")
+
     # -- queries -------------------------------------------------------------
     @property
     def path(self) -> Path:
@@ -170,16 +183,51 @@ class ResultStore:
     def keys(self) -> List[str]:
         return list(self._records)
 
+    def timeline_path(self, key: str) -> Path:
+        """Where the timeline sidecar for ``key`` lives (may not exist)."""
+        return self._timeline_dir() / f"{key}.npz"
+
+    def get_timeline(self, key: str) -> Optional[Timeline]:
+        """The stored timeline sidecar for ``key``, or ``None``."""
+        path = self.timeline_path(key)
+        if not path.exists():
+            return None
+        try:
+            return load_timeline(path)
+        except (OSError, ValueError, KeyError):
+            return None  # tolerate a truncated/corrupt sidecar, like _load
+
     def get(self, spec: RunSpec) -> Optional[RunResult]:
-        """Cached result for ``spec``, counting a hit or a miss."""
+        """Cached result for ``spec``, counting a hit or a miss.
+
+        A spec requesting a timeline only hits when a sidecar sampled at
+        the same cadence is present — otherwise the cached record cannot
+        serve the request and the point must re-simulate with collection
+        enabled (the re-run overwrites the record *and* writes the
+        sidecar, so the next request hits).
+        """
         record = self._records.get(spec.key())
         if record is None:
             self.misses += 1
             _STORE_MISSES.inc()
             return None
+        timeline = None
+        if spec.timeline_interval is not None:
+            timeline = self.get_timeline(spec.key())
+            if (
+                timeline is None
+                or timeline.interval != spec.timeline_interval
+                or timeline.occupancy_interval != spec.occupancy_sample_interval
+            ):
+                self.misses += 1
+                _STORE_MISSES.inc()
+                return None
         self.hits += 1
         _STORE_HITS.inc()
-        return RunResult.from_dict(record)
+        result = RunResult.from_dict(record)
+        if timeline is not None:
+            result = result.with_timeline(timeline)
+        return result
 
     def iter_results(self) -> Iterator[RunResult]:
         for record in self._records.values():
@@ -207,12 +255,26 @@ class ResultStore:
         self.writes += 1
         _STORE_PUTS.inc()
         _STORE_PUT_BYTES.add(len(line))
+        timeline = getattr(result, "timeline", None)
+        if timeline is not None:
+            with _TRACER.span("store_io"):
+                self._timeline_dir().mkdir(parents=True, exist_ok=True)
+                written = save_timeline(self.timeline_path(key), timeline)
+            _STORE_PUT_BYTES.add(written)
 
     def clear(self) -> None:
         """Drop every cached result, on disk and in memory."""
         self._records.clear()
         if self._path.exists():
             self._path.unlink()
+        sidecars = self._timeline_dir()
+        if sidecars.exists():
+            for path in sidecars.glob("*.npz"):
+                path.unlink()
+            try:
+                sidecars.rmdir()
+            except OSError:  # pragma: no cover - foreign files left behind
+                pass
 
     def compact(self) -> "CompactionReport":
         """Rewrite the file with one line per live key (drops superseded lines).
@@ -226,8 +288,10 @@ class ResultStore:
         The rewrite is crash-safe: records are written to a sibling temp
         file, fsynced, and :func:`os.replace`\\ d over the live file, so a
         crash mid-compact leaves the original store intact rather than a
-        truncated cache.
+        truncated cache.  Timeline sidecars whose key is no longer live
+        are removed in the same pass.
         """
+        self._prune_timelines()
         bytes_before = self._path.stat().st_size if self._path.exists() else 0
         lines_before = 0
         if self._path.exists():
@@ -268,6 +332,18 @@ class ResultStore:
             bytes_before=bytes_before,
             bytes_after=bytes_after,
         )
+
+    def _prune_timelines(self) -> None:
+        """Remove sidecars for keys the store no longer holds."""
+        sidecars = self._timeline_dir()
+        if not sidecars.exists():
+            return
+        for path in sidecars.glob("*.npz"):
+            if path.stem not in self._records:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - concurrent removal
+                    pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self._path)!r}, entries={len(self._records)})"

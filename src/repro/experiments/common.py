@@ -185,15 +185,18 @@ def run_workload(
     warmup_accesses: Optional[int] = None,
     seed: int = 0,
     occupancy_sample_interval: int = 2_000,
+    timeline_interval: Optional[int] = None,
+    batch_kernel: Optional[str] = None,
 ) -> WorkloadRun:
     """Build a system, warm it up, and measure one workload on it."""
-    system = TiledCMP(system_config, directory_factory)
+    system = TiledCMP(system_config, directory_factory, batch_kernel=batch_kernel)
     if warmup_accesses is None:
         warmup_accesses = workload.recommended_warmup(system_config)
     simulator = TraceSimulator(
         system,
         warmup_accesses=warmup_accesses,
         occupancy_sample_interval=occupancy_sample_interval,
+        timeline_interval=timeline_interval,
     )
     # The chunked trace is access-for-access identical to workload.trace();
     # it just skips building one MemoryAccess object per access.

@@ -101,11 +101,20 @@ class SampledTrace:
         directory_factory: Callable[[int, int], "object"],
         seed: int = 0,
         occupancy_sample_interval: int = 2_000,
+        timeline_interval: Optional[int] = None,
     ) -> SampledRun:
-        """Build a system and sample the trace through it."""
+        """Build a system and sample the trace through it.
+
+        ``timeline_interval`` enables window-cadence counter timelines
+        (:mod:`repro.obs.timeline`): every *completed* measured window
+        contributes one sample per channel, so the timeline only ever
+        reflects accesses that also count toward the merged statistics.
+        """
         system = TiledCMP(system_config, directory_factory)
         simulator = TraceSimulator(
-            system, occupancy_sample_interval=occupancy_sample_interval
+            system,
+            occupancy_sample_interval=occupancy_sample_interval,
+            timeline_interval=timeline_interval,
         )
         chunks = self._workload.trace_chunks(system_config, seed=seed)
         result, windows = simulator.run_sampled(

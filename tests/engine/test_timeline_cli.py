@@ -1,0 +1,251 @@
+"""Engine and CLI integration of counter timelines.
+
+Covers the full plumbing chain — spec field, runner rewrite, worker
+payload transport, store sidecars, ``report --timeline`` rendering — plus
+a golden pin of the timeline JSON/CSV serialization schema
+(``golden/timeline_golden.json``): downstream tooling parses these
+formats, so schema drift must be a deliberate, reviewed change.
+Regenerate with ``python tests/engine/test_timeline_cli.py regenerate``.
+"""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cli import main
+from repro.engine.runner import ParallelRunner
+from repro.engine.spec import RunSpec
+from repro.engine.store import ResultStore
+from repro.obs.timeline import ATTEMPT_CHAIN_BINS, Timeline
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "timeline_golden.json"
+
+
+def _deterministic_timeline():
+    """A hand-fed timeline: pins serialization, not simulator numerics."""
+    timeline = Timeline(occupancy_interval=200, interval=100, banks=2)
+
+    class _System:
+        ticks = 0
+
+        def timeline_counters(self):
+            type(self).ticks += 1
+            t = self.ticks
+            return {
+                "forced_invalidations": t // 2,
+                "insertions": 7 * t,
+                "insertion_attempts": 9 * t,
+                "stash_occupancy": t % 2,
+                "tracked_hit_rate": 0.5,
+                "shared_l2_hit_rate": 0.25,
+                "total_messages": 40 * t,
+                "traffic_bytes": 2560 * t,
+                "traffic_hops": 120 * t,
+            }
+
+        def bank_occupancies(self):
+            return [0.125 * self.ticks, 0.25 * self.ticks]
+
+        def attempt_chain_bins(self, bins):
+            assert bins == ATTEMPT_CHAIN_BINS
+            return [6 * self.ticks, self.ticks, 0, 0, 0]
+
+    system = _System()
+    for i in range(3):
+        timeline.record_occupancy(0.25 * (i + 1))
+        timeline.sample(system)
+    return timeline
+
+
+def _golden_document():
+    timeline = _deterministic_timeline()
+    return {
+        "json": timeline.to_json_dict(),
+        "csv": timeline.to_csv(),
+    }
+
+
+class TestGoldenSchema:
+    def test_json_and_csv_schemas_are_pinned(self):
+        assert GOLDEN_PATH.exists(), (
+            "golden file missing; generate it with "
+            "'python tests/engine/test_timeline_cli.py regenerate'"
+        )
+        golden = json.loads(GOLDEN_PATH.read_text())
+        document = _golden_document()
+        assert document["json"] == golden["json"]
+        assert document["csv"] == golden["csv"]
+
+
+def _spec(**overrides):
+    base = dict(workload="Oracle", tracked_level="L1", provisioning=2.0,
+                scale=64, measure_accesses=1_500)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+class TestEnginePlumbing:
+    def test_runner_rewrite_is_key_neutral(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        runner = ParallelRunner(workers=1, store=store, timeline_interval=500)
+        spec = _spec()  # no timeline_interval on the original spec
+        report = runner.run([spec])
+        result = report.result_for(spec)  # lookup by the original spec
+        assert result.timeline is not None
+        assert result.timeline.interval == 500
+        assert result.spec.key() == spec.key()
+
+    def test_sidecar_roundtrip_through_the_store(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        runner = ParallelRunner(
+            workers=1, store=ResultStore(path), timeline_interval=500
+        )
+        simulated = runner.run_spec(_spec())
+
+        reopened = ResultStore(path)
+        cached = reopened.get(_spec(timeline_interval=500))
+        assert cached is not None
+        assert cached.timeline == simulated.timeline
+        assert reopened.timeline_path(_spec().key()).exists()
+
+    def test_missing_sidecar_is_a_miss_for_timeline_requests(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        # Simulate WITHOUT a timeline...
+        ParallelRunner(workers=1, store=ResultStore(path)).run_spec(_spec())
+        store = ResultStore(path)
+        # ...a non-timeline request hits, a timeline request misses.
+        assert store.get(_spec()) is not None
+        assert store.get(_spec(timeline_interval=500)) is None
+
+    def test_cadence_mismatch_is_a_miss(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ParallelRunner(
+            workers=1, store=ResultStore(path), timeline_interval=500
+        ).run_spec(_spec())
+        store = ResultStore(path)
+        assert store.get(_spec(timeline_interval=500)) is not None
+        assert store.get(_spec(timeline_interval=250)) is None
+
+    def test_rerun_with_timeline_upgrades_the_cached_point(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        plain = ParallelRunner(workers=1, store=ResultStore(path)).run_spec(_spec())
+        report = ParallelRunner(
+            workers=1, store=ResultStore(path), timeline_interval=500
+        ).run([_spec()])
+        assert report.simulated == 1  # re-simulated to collect the timeline
+        upgraded = report.result_for(_spec())
+        assert upgraded == plain  # identical statistics (frozen equality)
+        assert upgraded.timeline is not None
+
+    def test_results_without_timelines_stay_lean(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        runner = ParallelRunner(workers=1, store=ResultStore(path))
+        result = runner.run_spec(_spec())
+        assert result.timeline is None
+        assert not (tmp_path / "results.jsonl.timelines").exists()
+
+    def test_clear_and_compact_manage_sidecars(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ParallelRunner(
+            workers=1, store=ResultStore(path), timeline_interval=500
+        ).run_spec(_spec())
+        store = ResultStore(path)
+        orphan = store.timeline_path("deadbeef")
+        orphan.parent.mkdir(exist_ok=True)
+        orphan.write_bytes(b"stale")
+        store.compact()
+        assert not orphan.exists()
+        assert store.timeline_path(_spec().key()).exists()
+        store.clear()
+        assert not store.timeline_path(_spec().key()).parent.exists()
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    return str(tmp_path / "results.jsonl")
+
+
+def _seed_fig08_with_timeline(store_path):
+    options = [
+        "--workloads", "Oracle",
+        "--scale", "64",
+        "--measure-accesses", "1500",
+        "--store", store_path,
+    ]
+    assert main([
+        "run", "fig08", *options, "--serial", "--quiet",
+        "--timeline-interval", "500",
+    ]) == 0
+    return options
+
+
+class TestReportTimelineCli:
+    def test_report_renders_stored_timelines(self, capsys, store_path):
+        options = _seed_fig08_with_timeline(store_path)
+        capsys.readouterr()
+        assert main(["report", "fig08", *options, "--timeline"]) == 0
+        out = capsys.readouterr().out
+        assert "counter timelines" in out
+        assert "occupancy_banks" in out
+
+    def test_channel_filter_and_formats(self, capsys, store_path, tmp_path):
+        options = _seed_fig08_with_timeline(store_path)
+        capsys.readouterr()
+
+        assert main([
+            "report", "fig08", *options, "--timeline",
+            "--channel", "occupancy,forced_invalidations", "--format", "json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        for point in document["points"]:
+            assert set(point["channels"]) == {"occupancy", "forced_invalidations"}
+
+        out_file = tmp_path / "tl.csv"
+        assert main([
+            "report", "fig08", *options, "--timeline", "--format", "csv",
+            "--out", str(out_file),
+        ]) == 0
+        header = out_file.read_text().splitlines()[0]
+        assert header == "point,channel,lane,sample,accesses,value"
+
+    def test_unknown_channel_lists_valid_names(self, capsys, store_path):
+        options = _seed_fig08_with_timeline(store_path)
+        capsys.readouterr()
+        assert main([
+            "report", "fig08", *options, "--timeline", "--channel", "bogus",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert "unknown channel(s): bogus" in err
+        assert "occupancy" in err and "traffic_hops" in err
+
+    def test_report_without_stored_timelines_explains_how(
+        self, capsys, store_path
+    ):
+        # Simulated without --timeline-interval: records but no sidecars.
+        options = [
+            "--workloads", "Oracle", "--scale", "64",
+            "--measure-accesses", "1500", "--store", store_path,
+        ]
+        assert main(["run", "fig08", *options, "--serial", "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["report", "fig08", *options, "--timeline"]) == 1
+        assert "--timeline-interval" in capsys.readouterr().err
+
+    def test_timeline_flag_conflicts(self, capsys, store_path):
+        assert main([
+            "report", "--all", "--timeline", "--store", store_path,
+        ]) == 2
+        assert main([
+            "report", "fig08", "--channel", "occupancy", "--store", store_path,
+        ]) == 2
+
+
+if __name__ == "__main__":
+    if len(sys.argv) == 2 and sys.argv[1] == "regenerate":
+        GOLDEN_PATH.parent.mkdir(exist_ok=True)
+        GOLDEN_PATH.write_text(json.dumps(_golden_document(), indent=2) + "\n")
+        print(f"wrote {GOLDEN_PATH}")
+    else:  # pragma: no cover
+        print("usage: python tests/engine/test_timeline_cli.py regenerate")

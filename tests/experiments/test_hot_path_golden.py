@@ -70,6 +70,7 @@ def _regenerate():  # pragma: no cover - maintenance helper
         spec = RunSpec.from_dict(entry["spec"])
         data = execute_spec(spec).to_dict()
         data.pop("elapsed_seconds")
+        data.pop("worker", None)  # host-specific pid, not a statistic
         results.append(data)
     GOLDEN["results"] = results
     GOLDEN_PATH.write_text(json.dumps(GOLDEN, indent=1, sort_keys=True))
