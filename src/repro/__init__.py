@@ -55,7 +55,7 @@ from repro.directories import (
     TaglessDirectory,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

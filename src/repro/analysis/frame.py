@@ -34,6 +34,8 @@ from typing import (
     Union,
 )
 
+import numpy as np
+
 from repro.analysis.tables import render_table
 
 __all__ = [
@@ -265,6 +267,36 @@ def flatten_record(record: object) -> Dict[str, object]:
     return flat
 
 
+def _native(value: object) -> object:
+    """A numpy scalar as its plain Python equivalent (pass-through otherwise)."""
+    return value.item() if isinstance(value, np.generic) else value
+
+
+def _decode_cell(field: str, value: object) -> object:
+    """One columnar group-key cell as the value the streaming path yields.
+
+    The codec stores optional spec fields with sentinel encodings
+    (``-1``/empty string for ``None``); group keys must come back as the
+    original ``None`` so frames from both aggregation paths are
+    interchangeable.
+    """
+    # Imported lazily: the analysis package loads before the engine
+    # (obs.tracing renders through analysis.tables), so a module-level
+    # import here would be circular.
+    from repro.engine.results import (
+        NONE_INT_SENTINEL,
+        OPTIONAL_INT_COLUMNS,
+        OPTIONAL_STR_COLUMNS,
+    )
+
+    value = _native(value)
+    if field in OPTIONAL_INT_COLUMNS and value == NONE_INT_SENTINEL:
+        return None
+    if field in OPTIONAL_STR_COLUMNS and value == "":
+        return None
+    return value
+
+
 class Column:
     """One rendered column: header text, source field, cell formatter."""
 
@@ -370,6 +402,155 @@ class SweepFrame:
             row: Dict[str, object] = dict(zip(group_by, key))
             for name, accumulator in groups[key].items():
                 row[name] = accumulator.value()
+            rows.append(row)
+        return cls(rows, group_by=group_by)
+
+    @classmethod
+    def aggregate_columns(
+        cls,
+        store_path: Union[str, "object"],
+        group_by: Sequence[str],
+        metrics: Mapping[str, MetricSpec],
+        where: Optional[Callable[[Mapping[str, object]], bool]] = None,
+    ) -> "SweepFrame":
+        """:meth:`aggregate` over a result store, vectorized over columns.
+
+        Instead of decoding every record into a dict and streaming it
+        through Python accumulators, this reads the store's columnar
+        segments (:func:`repro.engine.store.load_store_columns`) and
+        reduces whole numpy arrays per group — the cold-scan fast path for
+        large stores.  Group order, group-key values and reduction
+        semantics match :meth:`aggregate` over
+        :func:`~repro.engine.store.iter_store_records`; anything the
+        columnar path cannot express (a ``where`` callable, fields outside
+        the fixed schema, extras-resident records) silently falls back to
+        the streaming implementation.
+        """
+        from repro.engine.store import iter_store_records, load_store_columns
+
+        group_by = tuple(group_by)
+        parsed: Dict[str, Tuple[str, str]] = {}
+        for name, spec in metrics.items():
+            if isinstance(spec, str):
+                source, reduction = name, spec
+            else:
+                source, reduction = spec
+            if reduction not in REDUCTIONS:
+                raise ValueError(
+                    f"unknown reduction {reduction!r} "
+                    f"(expected one of: {', '.join(REDUCTIONS)})"
+                )
+            parsed[name] = (source, reduction)
+
+        def fallback() -> "SweepFrame":
+            return cls.aggregate(
+                (payload for _key, payload in iter_store_records(store_path)),
+                group_by=group_by,
+                metrics=metrics,
+                where=where,
+            )
+
+        # flatten_record never exposes these, so neither may the fast path.
+        unflattened = {"spec", "attempt_histogram", "elapsed_seconds"}
+        needed = tuple(
+            dict.fromkeys(
+                list(group_by) + [source for source, _r in parsed.values()]
+            )
+        )
+        if (
+            where is not None
+            or not needed
+            or any(field in unflattened for field in needed)
+        ):
+            return fallback()
+        columns = load_store_columns(store_path, needed)
+        if columns is None:
+            return fallback()
+
+        total = len(columns[needed[0]]) if needed else 0
+        if total == 0:
+            return cls([], group_by=group_by)
+
+        # Factorize the group key: combine per-field codes, then order
+        # groups by first appearance to match the streaming frame.
+        if group_by:
+            combined = np.zeros(total, dtype=np.int64)
+            for field in group_by:
+                _values, codes = np.unique(columns[field], return_inverse=True)
+                combined = combined * (int(codes.max()) + 1) + codes
+            _ids, inverse = np.unique(combined, return_inverse=True)
+            n_groups = len(_ids)
+        else:
+            inverse = np.zeros(total, dtype=np.int64)
+            n_groups = 1
+        first_pos = np.full(n_groups, total, dtype=np.int64)
+        np.minimum.at(first_pos, inverse, np.arange(total, dtype=np.int64))
+        group_order = np.argsort(first_pos, kind="stable")
+        rank = np.empty(n_groups, dtype=np.int64)
+        rank[group_order] = np.arange(n_groups, dtype=np.int64)
+
+        counts = np.bincount(inverse, minlength=n_groups)
+        reduced: Dict[str, np.ndarray] = {}
+        for name, (source, reduction) in parsed.items():
+            values = columns[source]
+            if reduction == "count":
+                reduced[name] = counts.astype(np.int64)
+                continue
+            numeric = values.astype(np.float64)
+            if reduction == "mean":
+                sums = np.bincount(inverse, weights=numeric, minlength=n_groups)
+                reduced[name] = np.where(counts > 0, sums / np.maximum(counts, 1), 0.0)
+            elif reduction == "sum":
+                reduced[name] = np.bincount(
+                    inverse, weights=numeric, minlength=n_groups
+                )
+            elif reduction == "geomean":
+                if (numeric < 0).any():
+                    raise ValueError(
+                        "geometric mean requires non-negative values"
+                    )
+                logs = np.log(np.maximum(numeric, _GEOMEAN_EPSILON))
+                sums = np.bincount(inverse, weights=logs, minlength=n_groups)
+                reduced[name] = np.exp(sums / np.maximum(counts, 1))
+            elif reduction == "min":
+                out = np.full(n_groups, np.inf)
+                np.minimum.at(out, inverse, numeric)
+                reduced[name] = out
+            elif reduction == "max":
+                out = np.full(n_groups, -np.inf)
+                np.maximum.at(out, inverse, numeric)
+                reduced[name] = out
+            elif reduction in ("first", "last"):
+                position = np.full(
+                    n_groups, total if reduction == "first" else -1, dtype=np.int64
+                )
+                if reduction == "first":
+                    np.minimum.at(
+                        position, inverse, np.arange(total, dtype=np.int64)
+                    )
+                else:
+                    np.maximum.at(
+                        position, inverse, np.arange(total, dtype=np.int64)
+                    )
+                reduced[name] = values[position]
+            else:  # p50 / p95 — exact quantiles need the group's values
+                q = 0.50 if reduction == "p50" else 0.95
+                out = np.zeros(n_groups, dtype=np.float64)
+                for group in range(n_groups):
+                    members = numeric[inverse == group]
+                    if len(members):
+                        out[group] = np.quantile(members, q)
+                reduced[name] = out
+
+        rows: List[Dict[str, object]] = []
+        for group in group_order:
+            anchor = int(first_pos[group])
+            row: Dict[str, object] = {
+                field: _decode_cell(field, columns[field][anchor])
+                for field in group_by
+            }
+            for name in parsed:
+                row[name] = _native(reduced[name][group])
             rows.append(row)
         return cls(rows, group_by=group_by)
 

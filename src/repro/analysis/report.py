@@ -345,14 +345,29 @@ class CompareReport:
         )
 
 
+def _sealed_store(path: Path) -> bool:
+    """True when ``path`` has a segment manifest (WAL may be empty/absent)."""
+    # Lazy import: repro.engine.store reaches repro.obs.tracing, which pulls
+    # repro.analysis back in at import time.
+    from repro.engine.segment import MANIFEST_NAME
+    from repro.engine.store import segments_dir
+
+    return (segments_dir(path) / MANIFEST_NAME).is_file()
+
+
 def _detect_kind(path: Path) -> str:
     """"store" for JSONL result stores, "bench" for BENCH_*.json records.
 
     A store is any file with a ``{"key": ..., "result": ...}`` record in
     its first lines — torn or corrupt leading lines are skipped, matching
     the tolerance of :class:`~repro.engine.store.ResultStore` loads.
-    Anything else that parses as one JSON document is a benchmark record.
+    A path whose sibling ``<name>.segments/`` directory holds a manifest is
+    also a store, even when its WAL is empty or absent (sealed/compacted
+    stores keep most records in binary segments).  Anything else that
+    parses as one JSON document is a benchmark record.
     """
+    if _sealed_store(path):
+        return "store"
     probed = 0
     with path.open("r", encoding="utf-8") as handle:
         for line in handle:
@@ -416,6 +431,10 @@ def _bench_direction(path: str) -> str:
     # a cost (lower is better), not a speedup-style ratio.
     if "overhead" in lowered:
         return "lower"
+    # Rates must win over the "seconds" rule: "records_per_second" contains
+    # "seconds" but more of it is better.
+    if "per_second" in lowered or "throughput" in lowered:
+        return "higher"
     if "speedup" in lowered or "ratio" in lowered:
         return "higher"
     if "seconds" in lowered or "bytes" in lowered:
@@ -445,7 +464,7 @@ def compare_files(
     """
     baseline_path, candidate_path = Path(baseline), Path(candidate)
     for path in (baseline_path, candidate_path):
-        if not path.exists():
+        if not path.exists() and not _sealed_store(path):
             raise FileNotFoundError(f"no such file: {path}")
     if threshold < 0:
         raise ValueError("threshold must be non-negative")

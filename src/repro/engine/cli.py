@@ -31,7 +31,9 @@ Installed as the ``repro-run`` console script and runnable as
     metric with direction-aware thresholds; ``--fail-on-regression``
     makes regressions exit non-zero for CI gating.
 ``cache``
-    Inspect, compact or clear the content-addressed result store.
+    Inspect (``show``/``stats``), compact or clear the content-addressed
+    result store, or translate it to/from plain last-wins JSONL
+    (``export``/``import``) for migration and interchange.
 
 Examples
 --------
@@ -58,7 +60,10 @@ Examples
     repro-run compare baseline.jsonl candidate.jsonl --fail-on-regression
     repro-run compare BENCH_hot_path.json /tmp/BENCH_hot_path.json --threshold 0.2
     repro-run cache
+    repro-run cache stats
     repro-run cache compact
+    repro-run cache export backup.jsonl
+    repro-run cache import backup.jsonl
     repro-run cache clear
 """
 
@@ -66,6 +71,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional, Sequence
 
 from repro.engine.runner import ParallelRunner, default_workers
@@ -442,11 +448,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect, compact or clear the result store"
+        "cache", help="inspect, compact, clear or export/import the result store"
     )
     cache_parser.add_argument(
-        "action", nargs="?", default="show", choices=("show", "clear", "compact"),
-        help="what to do with the store (default: show)",
+        "action",
+        nargs="?",
+        default="show",
+        choices=("show", "stats", "clear", "compact", "export", "import"),
+        help="what to do with the store (default: show); 'stats' prints "
+        "storage-engine details, 'export'/'import' translate to/from plain "
+        "last-wins JSONL",
+    )
+    cache_parser.add_argument(
+        "file",
+        nargs="?",
+        default=None,
+        metavar="FILE",
+        help="JSONL destination for 'export' / source for 'import'",
     )
     cache_parser.add_argument("--store", default=None, metavar="PATH")
     cache_parser.add_argument(
@@ -1035,16 +1053,19 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.analysis.frame import Column, SweepFrame
-    from repro.engine.store import iter_store_records
+    from repro.engine.segment import MANIFEST_NAME
+    from repro.engine.store import iter_store_records, segments_dir
 
     store_path = _report_store_path(args)
-    if not Path(store_path).exists():
+    if (
+        not Path(store_path).exists()
+        and not (segments_dir(Path(store_path)) / MANIFEST_NAME).is_file()
+    ):
         print(f"no result store at {store_path}", file=sys.stderr)
         return 2
-    payloads = (payload for _key, payload in iter_store_records(store_path))
     if args.group_by:
-        frame = SweepFrame.aggregate(
-            payloads,
+        frame = SweepFrame.aggregate_columns(
+            store_path,
             group_by=args.group_by,
             metrics={
                 "points": ("workload", "count"),
@@ -1062,7 +1083,7 @@ def _cmd_report_all(args: argparse.Namespace) -> int:
         title = f"Store aggregate by {', '.join(args.group_by)} ({store_path})"
     else:
         frame = SweepFrame.from_records(
-            payloads,
+            (payload for _key, payload in iter_store_records(store_path)),
             fields=(
                 "workload", "tracked_level", "organization", "ways",
                 "provisioning", "seed", "scale", "measure_accesses",
@@ -1315,10 +1336,44 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         report = store.compact()
         print(f"compacted {store.path}: {report}")
         return 0
+    if action == "export":
+        if not args.file:
+            print("cache export needs a destination FILE", file=sys.stderr)
+            return 2
+        count = store.export_jsonl(args.file)
+        print(f"exported {count} records from {store.path} to {args.file}")
+        return 0
+    if action == "import":
+        if not args.file:
+            print("cache import needs a source FILE", file=sys.stderr)
+            return 2
+        if not Path(args.file).exists():
+            print(f"no such file: {args.file}", file=sys.stderr)
+            return 2
+        imported, dropped = store.import_jsonl(args.file)
+        line = f"imported {imported} records from {args.file} into {store.path}"
+        if dropped:
+            line += f" ({dropped} malformed records dropped)"
+        print(line)
+        return 0
+    if action == "stats":
+        stats = store.stats()
+        width = max(len(name) for name in stats)
+        for name, value in stats.items():
+            print(f"{name:<{width}}  {value}")
+        return 0
     size = store.path.stat().st_size if store.path.exists() else 0
     print(f"store:   {store.path}")
     print(f"entries: {len(store)}")
     print(f"size:    {size} bytes")
+    segments = store.segment_names()
+    if segments:
+        stats = store.stats()
+        print(
+            f"engine:  {len(segments)} sealed segments "
+            f"({stats['segment_rows']} rows, {stats['segment_bytes']} bytes), "
+            f"{stats['wal_records']} WAL-resident records"
+        )
     return 0
 
 

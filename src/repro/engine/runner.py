@@ -76,6 +76,35 @@ _worker_queue = None
 #: sees updates without locking (single writer, torn reads impossible for
 #: a str slot).
 _worker_label = {"current": ""}
+#: Store path this worker persists results to (installed by ``_worker_init``);
+#: ``None`` keeps persistence in the parent.
+_worker_store_path = None
+#: This worker's lazily opened write-only store handle.
+_worker_store = None
+
+
+def _persist_in_worker(result: RunResult) -> bool:
+    """Append ``result`` to this worker's own WAL of the shared store.
+
+    Each worker writes to ``wal-w<pid>.jsonl`` inside the store's segment
+    directory and seals its own segments into the shared manifest, so the
+    parent only has to *note* the result — no record crosses the process
+    boundary twice.  Returns ``False`` (parent persists instead) if this
+    worker has no store or the append failed; persistence problems must
+    never cost a finished simulation.
+    """
+    global _worker_store
+    if _worker_store_path is None:
+        return False
+    try:
+        if _worker_store is None:
+            _worker_store = ResultStore(
+                _worker_store_path, writer=f"w{os.getpid()}", preload=False
+            )
+        _worker_store.put(result)
+        return True
+    except Exception:
+        return False
 
 
 def _put_event(queue, kind: str, label: str = "") -> None:
@@ -92,10 +121,14 @@ def _heartbeat_loop(queue, interval: float) -> None:
         _put_event(queue, "heartbeat", _worker_label["current"])
 
 
-def _worker_init(queue, obs_state, log_state, heartbeat_interval: float) -> None:
+def _worker_init(
+    queue, obs_state, log_state, heartbeat_interval: float, store_path=None
+) -> None:
     """Pool initializer: replicate parent telemetry state, start heartbeats."""
-    global _worker_queue
+    global _worker_queue, _worker_store_path, _worker_store
     _worker_queue = queue
+    _worker_store_path = store_path
+    _worker_store = None
     obs.apply_state(obs_state)
     if log_state is not None:
         apply_logging_state(log_state)
@@ -125,6 +158,14 @@ def _execute_payload_observed(payload: Dict[str, object]) -> Dict[str, object]:
         _worker_label["current"] = label
         _put_event(queue, "start", label)
     outcome = execute_payload(payload)
+    if outcome.get("status") == "ok" and _worker_store_path is not None:
+        result = RunResult.from_dict(outcome["result"])
+        timeline_payload = outcome.get("timeline")
+        if timeline_payload is not None:
+            result = result.with_timeline(Timeline.from_payload(timeline_payload))
+        if _persist_in_worker(result):
+            # The parent notes the result instead of re-writing it.
+            outcome["persisted"] = True
     if queue is not None:
         _worker_label["current"] = ""
         _put_event(queue, "done", label)
@@ -335,7 +376,13 @@ class ParallelRunner:
             report.results[result.spec.key()] = result
             report.simulated += 1
             if self._store is not None:
-                self._store.put(result)
+                if outcome.get("persisted"):
+                    # A pool worker already appended this record to its own
+                    # WAL (and sidecar); only the manifest/catalog note comes
+                    # home — never the bytes twice.
+                    self._store.note_external(result)
+                else:
+                    self._store.put(result)
             self._emit("simulated", report, total, result.spec)
         else:
             spec = RunSpec.from_dict(outcome["spec"])
@@ -360,7 +407,14 @@ class ParallelRunner:
         # heartbeat machinery entirely.
         queue = context.Queue() if self._monitor is not None else None
         telemetry: Dict[int, Dict[str, object]] = {}
-        initargs = (queue, obs.state(), logging_state(), self._heartbeat_interval)
+        store_path = str(self._store.path) if self._store is not None else None
+        initargs = (
+            queue,
+            obs.state(),
+            logging_state(),
+            self._heartbeat_interval,
+            store_path,
+        )
         with context.Pool(
             processes=pool_size, initializer=_worker_init, initargs=initargs
         ) as pool:

@@ -1,0 +1,272 @@
+"""Sealed columnar segments and the manifest that unifies them.
+
+A :class:`~repro.engine.store.ResultStore` directory (``<store>.segments/``)
+holds immutable *segments* — batches of records sealed from the JSONL WAL by
+:func:`write_segment` — plus ``MANIFEST.json``, the single source of truth
+for which segments exist.  One segment ``<name>`` is at most four files:
+
+``<name>.main.npy``
+    numpy structured array from
+    :func:`repro.engine.results.encode_record_batch` — one row per record,
+    flat spec/result columns plus ``key``/``ts``/``hist_off``/``hist_len``.
+``<name>.hist.npy``
+    ``(total_pairs, 2)`` int64 heap of attempt-histogram pairs, windowed
+    per row by ``hist_off``/``hist_len``.
+``<name>.index.npz``
+    the persisted key index: just the ``key`` and ``ts`` columns, so a
+    fresh open builds its key → (segment, row) map without touching the
+    (much larger) main array.
+``<name>.extras.json``
+    JSON side-channel ``{row: payload}`` for records the fixed columns
+    cannot represent; written only when non-empty.
+
+Crash-safety contract: every segment file is written tmp + fsync +
+``os.replace`` (and the directory fsynced) **before** the manifest commit
+that references it, and the manifest itself commits the same way — so a
+manifest can never name a torn segment.  Multi-writer safety: manifest
+read-modify-write cycles run under an ``flock`` on ``<segdir>/.lock``
+(:func:`manifest_lock`), so concurrent writers sealing their own segments
+merge through :func:`merge_manifest` without losing each other's entries.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engine.results import EncodedBatch
+from repro.engine.spec import SPEC_VERSION
+
+try:  # pragma: no cover - posix-only locking, exercised on linux CI
+    import fcntl
+except ImportError:  # pragma: no cover - non-posix fallback: no inter-process locks
+    fcntl = None
+
+__all__ = [
+    "SegmentMeta",
+    "LoadedSegment",
+    "Manifest",
+    "MANIFEST_NAME",
+    "write_segment",
+    "read_segment",
+    "read_segment_index",
+    "load_manifest",
+    "commit_manifest",
+    "merge_manifest",
+    "manifest_lock",
+    "segment_file_names",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+_LOCK_NAME = ".lock"
+
+
+@dataclass(frozen=True)
+class SegmentMeta:
+    """One manifest entry: a sealed, immutable segment."""
+
+    name: str
+    rows: int
+    writer: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "rows": self.rows, "writer": self.writer}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SegmentMeta":
+        return cls(
+            name=str(data["name"]),
+            rows=int(data["rows"]),
+            writer=str(data.get("writer", "")),
+        )
+
+
+@dataclass
+class Manifest:
+    """The committed segment list, stamped with the codec version."""
+
+    spec_version: int = SPEC_VERSION
+    segments: List[SegmentMeta] = field(default_factory=list)
+
+    def names(self) -> List[str]:
+        return [meta.name for meta in self.segments]
+
+    def total_rows(self) -> int:
+        return sum(meta.rows for meta in self.segments)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec_version": self.spec_version,
+            "segments": [meta.to_dict() for meta in self.segments],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Manifest":
+        return cls(
+            spec_version=int(data.get("spec_version", SPEC_VERSION)),
+            segments=[
+                SegmentMeta.from_dict(entry)
+                for entry in data.get("segments", [])
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class LoadedSegment:
+    """An open segment: memory-mapped arrays plus the extras side-channel."""
+
+    meta: SegmentMeta
+    main: np.ndarray
+    hist: np.ndarray
+    extras: Dict[int, Dict[str, object]]
+
+
+def segment_file_names(name: str) -> Tuple[str, str, str, str]:
+    """All on-disk file names a segment ``name`` may own."""
+    return (
+        f"{name}.main.npy",
+        f"{name}.hist.npy",
+        f"{name}.index.npz",
+        f"{name}.extras.json",
+    )
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` so it is either absent or complete."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _npy_bytes(array: np.ndarray) -> bytes:
+    buffer = io.BytesIO()
+    np.save(buffer, array, allow_pickle=False)
+    return buffer.getvalue()
+
+
+def write_segment(
+    segdir: Path,
+    name: str,
+    batch: EncodedBatch,
+    writer: str = "",
+) -> SegmentMeta:
+    """Durably write one sealed segment; safe to crash at any point.
+
+    All files land via tmp + fsync + replace, so callers may commit the
+    returned meta into the manifest knowing the data beneath it is whole.
+    """
+    segdir.mkdir(parents=True, exist_ok=True)
+    main_name, hist_name, index_name, extras_name = segment_file_names(name)
+    _atomic_write_bytes(segdir / main_name, _npy_bytes(batch.main))
+    _atomic_write_bytes(segdir / hist_name, _npy_bytes(batch.hist))
+
+    index_buffer = io.BytesIO()
+    np.savez(index_buffer, keys=batch.main["key"], ts=batch.main["ts"])
+    _atomic_write_bytes(segdir / index_name, index_buffer.getvalue())
+
+    if batch.extras:
+        payload = {str(row): value for row, value in batch.extras.items()}
+        _atomic_write_bytes(
+            segdir / extras_name,
+            json.dumps(payload, separators=(",", ":")).encode("utf-8"),
+        )
+    return SegmentMeta(name=name, rows=int(batch.main.shape[0]), writer=writer)
+
+
+def read_segment(segdir: Path, meta: SegmentMeta, mmap: bool = True) -> LoadedSegment:
+    """Open a sealed segment, memory-mapping the arrays by default."""
+    main_name, hist_name, _index_name, extras_name = segment_file_names(meta.name)
+    mode: Optional[str] = "r" if mmap else None
+    main = np.load(segdir / main_name, mmap_mode=mode, allow_pickle=False)
+    hist = np.load(segdir / hist_name, mmap_mode=mode, allow_pickle=False)
+    extras: Dict[int, Dict[str, object]] = {}
+    extras_path = segdir / extras_name
+    if extras_path.exists():
+        with open(extras_path, "r", encoding="utf-8") as handle:
+            extras = {int(row): value for row, value in json.load(handle).items()}
+    return LoadedSegment(meta=meta, main=main, hist=hist, extras=extras)
+
+
+def read_segment_index(segdir: Path, meta: SegmentMeta) -> Tuple[np.ndarray, np.ndarray]:
+    """The ``(keys, ts)`` arrays of a segment — the cheap open-time read."""
+    _main_name, _hist_name, index_name, _extras_name = segment_file_names(meta.name)
+    with np.load(segdir / index_name, allow_pickle=False) as bundle:
+        return bundle["keys"], bundle["ts"]
+
+
+def load_manifest(segdir: Path) -> Manifest:
+    """The committed manifest, or an empty one if none exists yet."""
+    path = segdir / MANIFEST_NAME
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return Manifest.from_dict(json.load(handle))
+    except FileNotFoundError:
+        return Manifest()
+
+
+def commit_manifest(segdir: Path, manifest: Manifest) -> None:
+    """Atomically publish ``manifest`` as the store's segment list."""
+    segdir.mkdir(parents=True, exist_ok=True)
+    _atomic_write_bytes(
+        segdir / MANIFEST_NAME,
+        json.dumps(manifest.to_dict(), indent=2).encode("utf-8"),
+    )
+
+
+@contextmanager
+def manifest_lock(segdir: Path) -> Iterator[None]:
+    """Exclusive inter-process lock over manifest read-modify-write."""
+    segdir.mkdir(parents=True, exist_ok=True)
+    handle = open(segdir / _LOCK_NAME, "a+")
+    try:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        yield
+    finally:
+        if fcntl is not None:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        handle.close()
+
+
+def merge_manifest(
+    segdir: Path,
+    add: Sequence[SegmentMeta] = (),
+    drop: Sequence[str] = (),
+) -> Manifest:
+    """Merge segment additions/removals into the manifest under the lock.
+
+    Concurrent writers each call this with only *their* new segments; the
+    read-modify-write under :func:`manifest_lock` preserves everyone
+    else's entries.  Returns the manifest as committed.
+    """
+    dropped = set(drop)
+    with manifest_lock(segdir):
+        manifest = load_manifest(segdir)
+        kept = [meta for meta in manifest.segments if meta.name not in dropped]
+        existing = {meta.name for meta in kept}
+        for meta in add:
+            if meta.name not in existing:
+                kept.append(meta)
+                existing.add(meta.name)
+        merged = Manifest(spec_version=manifest.spec_version, segments=kept)
+        commit_manifest(segdir, merged)
+    return merged

@@ -1,0 +1,334 @@
+"""Storage-engine tests: sealing, multi-writer appends, crash safety.
+
+The legacy behaviours (JSONL durability, compaction byte-identity, hit
+and miss accounting) are pinned by ``test_store.py``; this module covers
+what the columnar engine adds on top — segment sealing, last-wins merge
+across WAL and segments, export/import, concurrent writers and torn-write
+recovery.
+"""
+
+import json
+import logging
+import multiprocessing
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.engine.cli import main
+from repro.engine.results import RunResult
+from repro.engine.segment import (
+    MANIFEST_NAME,
+    load_manifest,
+    read_segment,
+    segment_file_names,
+)
+from repro.engine.spec import RunSpec
+from repro.engine.store import ResultStore, segments_dir
+
+_SRC_DIR = str(Path(repro.__file__).resolve().parents[1])
+
+
+def _spec(**overrides):
+    base = dict(workload="Oracle", tracked_level="L1", provisioning=2.0,
+                scale=64, measure_accesses=1_500)
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def _result(spec, **overrides):
+    base = dict(
+        spec=spec, accesses=1_000, cache_hit_rate=0.9, average_occupancy=0.5,
+        occupancy_vs_worst_case=0.8, average_insertion_attempts=1.25,
+        forced_invalidation_rate=0.0, insertions=10, insertion_attempts=12,
+        forced_invalidations=0, tracked_frames_total=100,
+        directory_capacity_total=128, total_messages=5,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+# -- sealing and last-wins ----------------------------------------------------
+class TestSealing:
+    def test_threshold_seal_moves_wal_into_segments(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path, seal_threshold=4)
+        for seed in range(6):
+            store.put(_result(_spec(seed=seed)))
+        assert store.segment_names()
+        assert (segments_dir(path) / MANIFEST_NAME).exists()
+
+        reopened = ResultStore(path)
+        assert len(reopened) == 6
+        for seed in range(6):
+            assert reopened.get(_spec(seed=seed)) == _result(_spec(seed=seed))
+
+    def test_last_wins_across_segment_and_wal(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(_result(_spec(), accesses=1))
+        store.seal()
+        store.put(_result(_spec(), accesses=2))  # newer, WAL-resident
+
+        assert store.get(_spec()).accesses == 2
+        reopened = ResultStore(path)
+        assert reopened.get(_spec()).accesses == 2
+
+    def test_last_wins_within_sealed_segments(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(_result(_spec(), accesses=1))
+        store.seal()
+        store.put(_result(_spec(), accesses=2))
+        store.seal()
+
+        reopened = ResultStore(path)
+        assert len(reopened) == 1
+        assert reopened.get(_spec()).accesses == 2
+
+    def test_non_conforming_payload_survives_seal_byte_identically(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(_result(_spec()))
+        payload = {"custom": 1, "nested": {"a": [1, 2]}, "note": "not a RunResult"}
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"key": "deadbeef", "ts": time.time_ns(), "result": payload}
+            ) + "\n")
+
+        sealed = ResultStore(path)
+        meta = sealed.seal()
+        assert meta is not None and meta.rows == 2
+        extras_name = segment_file_names(meta.name)[3]
+        assert (segments_dir(path) / extras_name).exists()
+
+        reopened = ResultStore(path)
+        records = dict(reopened.iter_records())
+        assert records["deadbeef"] == payload
+
+
+# -- export / import ----------------------------------------------------------
+class TestExportImport:
+    def test_round_trip_is_byte_identical_and_last_wins(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(_result(_spec(), accesses=1))
+        store.put(_result(_spec(seed=7)))
+        store.seal()
+        store.put(_result(_spec(), accesses=2))  # supersedes the sealed row
+
+        first = tmp_path / "first.jsonl"
+        assert store.export_jsonl(first) == 2
+
+        fresh_path = tmp_path / "fresh.jsonl"
+        fresh = ResultStore(fresh_path)
+        assert fresh.import_jsonl(first) == (2, 0)
+        assert fresh.get(_spec()).accesses == 2
+
+        second = tmp_path / "second.jsonl"
+        ResultStore(fresh_path).export_jsonl(second)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_import_drops_and_counts_malformed_payloads(self, tmp_path):
+        source = tmp_path / "backup.jsonl"
+        good = _result(_spec())
+        with source.open("w", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"key": good.spec.key(), "result": good.to_dict()}
+            ) + "\n")
+            handle.write(json.dumps(
+                {"key": "bad", "result": {"garbage": True}}
+            ) + "\n")
+
+        store = ResultStore(tmp_path / "results.jsonl")
+        assert store.import_jsonl(source) == (1, 1)
+        assert store.keys() == [good.spec.key()]
+
+
+# -- malformed records and corrupt sidecars -----------------------------------
+class TestRotTolerance:
+    def test_malformed_record_is_dropped_counted_and_missed(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path).put(_result(_spec()))
+        with path.open("a", encoding="utf-8") as handle:
+            # A newer envelope whose payload no longer decodes.
+            handle.write(json.dumps({
+                "key": _spec().key(),
+                "ts": time.time_ns() + 10**9,
+                "result": {"garbage": True},
+            }) + "\n")
+
+        store = ResultStore(path)
+        assert store.get(_spec()) is None
+        assert store.malformed == 1
+        assert store.misses == 1
+
+        again = ResultStore(path)
+        assert list(again.iter_results()) == []
+        assert again.malformed == 1
+
+    def test_corrupt_timeline_sidecar_warns_with_key_and_path(self, tmp_path):
+        store = ResultStore(tmp_path / "results.jsonl")
+        result = _result(_spec())
+        store.put(result)
+        key = result.spec.key()
+        sidecar = store.timeline_path(key)
+        sidecar.parent.mkdir(parents=True, exist_ok=True)
+        sidecar.write_bytes(b"this is not an npz archive")
+
+        records = []
+        handler = logging.Handler()
+        handler.emit = records.append
+        logger = logging.getLogger("repro.engine.store")
+        logger.addHandler(handler)
+        previous = logger.level
+        logger.setLevel(logging.WARNING)
+        try:
+            assert store.get_timeline(key) is None
+        finally:
+            logger.removeHandler(handler)
+            logger.setLevel(previous)
+
+        warned = [r for r in records if "corrupt timeline sidecar" in r.getMessage()]
+        assert len(warned) == 1
+        assert warned[0].key == key
+        assert warned[0].sidecar == str(sidecar)
+
+
+# -- concurrent writers -------------------------------------------------------
+def _torture_worker(path_str, writer_id, count):
+    store = ResultStore(
+        Path(path_str), writer=f"t{writer_id}", preload=False, seal_threshold=5
+    )
+    for i in range(count):
+        store.put(_result(_spec(seed=writer_id * 1_000 + i)))
+    store.flush()
+
+
+class TestMultiWriter:
+    @pytest.mark.parametrize("method", ["fork", "spawn"])
+    def test_concurrent_writers_merge_without_loss(self, tmp_path, method):
+        if method not in multiprocessing.get_all_start_methods():
+            pytest.skip(f"start method {method!r} unavailable")
+        ctx = multiprocessing.get_context(method)
+        path = tmp_path / "results.jsonl"
+        writers, per_writer = 4, 12
+        processes = [
+            ctx.Process(target=_torture_worker, args=(str(path), w, per_writer))
+            for w in range(writers)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+        assert all(process.exitcode == 0 for process in processes)
+
+        store = ResultStore(path)
+        expected = {
+            _spec(seed=w * 1_000 + i).key()
+            for w in range(writers)
+            for i in range(per_writer)
+        }
+        records = list(store.iter_records())
+        assert {key for key, _payload in records} == expected
+        assert len(records) == len(expected)  # every key exactly once
+        assert sum(1 for _ in store.iter_results()) == len(expected)
+        assert store.malformed == 0
+
+    def test_kill_mid_put_never_commits_a_torn_segment(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        script = tmp_path / "endless_writer.py"
+        script.write_text(textwrap.dedent(f"""
+            import sys
+            sys.path.insert(0, {_SRC_DIR!r})
+            from pathlib import Path
+            from repro.engine.results import RunResult
+            from repro.engine.spec import RunSpec
+            from repro.engine.store import ResultStore
+
+            store = ResultStore(Path(sys.argv[1]), seal_threshold=4)
+            seed = 0
+            while True:
+                spec = RunSpec(workload="Oracle", tracked_level="L1",
+                               provisioning=2.0, scale=64,
+                               measure_accesses=1_500, seed=seed)
+                store.put(RunResult(
+                    spec=spec, accesses=seed, cache_hit_rate=0.9,
+                    average_occupancy=0.5, occupancy_vs_worst_case=0.8,
+                    average_insertion_attempts=1.25,
+                    forced_invalidation_rate=0.0, insertions=10,
+                    insertion_attempts=12, forced_invalidations=0,
+                    tracked_frames_total=100, directory_capacity_total=128,
+                    total_messages=5))
+                seed += 1
+        """))
+        process = subprocess.Popen([sys.executable, str(script), str(path)])
+        try:
+            segdir = segments_dir(path)
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if (segdir / MANIFEST_NAME).exists() and len(
+                    load_manifest(segdir).segments
+                ) >= 2:
+                    break
+                time.sleep(0.01)
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+        manifest = load_manifest(segdir)
+        assert len(manifest.segments) >= 2
+        for meta in manifest.segments:
+            # Segment files are fully fsynced before the manifest commit,
+            # so every referenced file must exist and load to `rows` rows.
+            main_name, hist_name, index_name, _extras = segment_file_names(meta.name)
+            for name in (main_name, hist_name, index_name):
+                assert (segdir / name).exists()
+            loaded = read_segment(segdir, meta)
+            assert len(loaded.main) == meta.rows
+
+        store = ResultStore(path)
+        assert len(store) > 0
+        assert sum(1 for _ in store.iter_results()) == len(store)
+        assert store.malformed == 0
+
+
+# -- cache CLI: export / import / stats ---------------------------------------
+class TestCacheCli:
+    def test_export_import_and_stats(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        store = ResultStore(store_path)
+        store.put(_result(_spec()))
+        store.put(_result(_spec(seed=7)))
+        store.seal()
+
+        backup = str(tmp_path / "backup.jsonl")
+        assert main(["cache", "export", backup, "--store", store_path]) == 0
+        assert "exported 2 records" in capsys.readouterr().out
+
+        target = str(tmp_path / "fresh.jsonl")
+        assert main(["cache", "import", backup, "--store", target]) == 0
+        assert "imported 2 records" in capsys.readouterr().out
+        assert len(ResultStore(target)) == 2
+
+        assert main(["cache", "stats", "--store", store_path]) == 0
+        out = capsys.readouterr().out
+        assert "entries" in out and "segments" in out
+
+        assert main(["cache", "--store", store_path]) == 0
+        assert "sealed segments" in capsys.readouterr().out
+
+    def test_export_and_import_require_a_file_operand(self, tmp_path, capsys):
+        store_path = str(tmp_path / "results.jsonl")
+        assert main(["cache", "export", "--store", store_path]) == 2
+        assert "destination FILE" in capsys.readouterr().err
+        assert main(["cache", "import", "--store", store_path]) == 2
+        assert "source FILE" in capsys.readouterr().err
+        assert main(
+            ["cache", "import", str(tmp_path / "absent.jsonl"), "--store", store_path]
+        ) == 2
+        assert "no such file" in capsys.readouterr().err
