@@ -63,6 +63,11 @@ class PageMapper:
         self._rng = np.random.default_rng(seed)
         self._page_table: Dict[int, int] = {}
         self._allocated: Set[int] = set()
+        # Dense gather cache of ``_page_table`` (index = virtual page,
+        # -1 = not cached), grown on demand by translate_batch: once a
+        # run's footprint is touched, whole-chunk translation collapses
+        # to a single fancy-index gather instead of a unique/dict walk.
+        self._phys_cache: Optional[np.ndarray] = None
         # Power-of-two page sizes (every configuration in this library)
         # translate with a shift and a mask instead of a divmod.
         if page_bytes & (page_bytes - 1) == 0:
@@ -121,6 +126,64 @@ class PageMapper:
         else:
             virtual_pages = addresses // self._page_bytes
             offsets = addresses % self._page_bytes
+        physical_pages = self._gather_pages(virtual_pages)
+        if shift is not None:
+            return (physical_pages << shift) | offsets
+        return physical_pages * self._page_bytes + offsets
+
+    #: Dense-cache ceiling: footprints touching virtual pages beyond this
+    #: index keep the dict-walk path instead of materialising a huge array.
+    _PHYS_CACHE_MAX_PAGES = 1 << 22
+
+    def _gather_pages(self, virtual_pages: np.ndarray) -> np.ndarray:
+        """Physical page for every virtual page, first-touch allocating.
+
+        Steady state (all pages mapped and cached) is one fancy-index
+        gather; misses fall back to the historical unique/dict walk —
+        allocating unseen pages in order of first occurrence within the
+        chunk, exactly like mapping :meth:`translate` over the stream.
+        """
+        cache = self._phys_cache
+        max_page = int(virtual_pages.max())
+        if max_page >= self._PHYS_CACHE_MAX_PAGES:
+            return self._gather_pages_uncached(virtual_pages)
+        if cache is None or max_page >= cache.size:
+            size = max(1024, 2 * (max_page + 1))
+            grown = np.full(size, -1, dtype=np.int64)
+            if cache is not None:
+                grown[: cache.size] = cache
+            elif self._page_table:
+                # Adopt mappings made through the scalar translate path.
+                for page, phys in self._page_table.items():
+                    if page < size:
+                        grown[page] = phys
+            self._phys_cache = cache = grown
+        physical_pages = cache[virtual_pages]
+        miss_mask = physical_pages < 0
+        if miss_mask.any():
+            miss_pages = virtual_pages[miss_mask]
+            unique_pages, first_seen = np.unique(miss_pages, return_index=True)
+            table = self._page_table
+            missing = []
+            for page, position in zip(unique_pages.tolist(), first_seen.tolist()):
+                phys = table.get(page)
+                if phys is None:
+                    missing.append((position, page))
+                else:  # mapped by scalar translate, not yet cached
+                    cache[page] = phys
+            if missing:
+                # First-touch order: allocate in stream order, not sorted
+                # order (selection under the miss mask preserves it).
+                missing.sort()
+                for _, page in missing:
+                    phys = self._allocate()
+                    table[page] = phys
+                    cache[page] = phys
+            physical_pages = cache[virtual_pages]
+        return physical_pages
+
+    def _gather_pages_uncached(self, virtual_pages: np.ndarray) -> np.ndarray:
+        """The historical unique/dict-walk gather (sparse huge footprints)."""
         unique_pages, first_seen, inverse = np.unique(
             virtual_pages, return_index=True, return_inverse=True
         )
@@ -136,14 +199,11 @@ class PageMapper:
             missing.sort()
             for _, page in missing:
                 table[page] = self._allocate()
-        physical_pages = np.fromiter(
+        return np.fromiter(
             (table[page] for page in unique_list),
             dtype=np.int64,
             count=len(unique_list),
         )[inverse]
-        if shift is not None:
-            return (physical_pages << shift) | offsets
-        return physical_pages * self._page_bytes + offsets
 
     def translate_blocks(
         self,

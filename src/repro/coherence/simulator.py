@@ -26,6 +26,7 @@ sampling semantics, so their results are bit-identical.
 
 from __future__ import annotations
 
+import gc
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -220,53 +221,65 @@ class TraceSimulator:
         # Chunk production is pulled manually (instead of a ``for`` over
         # ``chunks``) so the generator's own cost lands in its span.
         iterator = iter(chunks)
-        while True:
-            with _TRACER.span("trace_production"):
-                chunk = next(iterator, None)
-            if chunk is None:
-                break
-            cores, addresses, writes, instrs = _chunk_arrays(*chunk)
-            length = len(cores)
-            offset = 0
-            while offset < length:
-                if position < warmup:
-                    span = min(length - offset, warmup - position)
+        # The chunk kernels churn through short-lived, acyclic objects
+        # (zip rows, candidate index tuples, pooled sharer sets), so
+        # generational collection passes can never free anything here --
+        # they only show up as pauses in the middle of the measured
+        # region.  Collection is paused for the loop and restored after.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while True:
+                with _TRACER.span("trace_production"):
+                    chunk = next(iterator, None)
+                if chunk is None:
+                    break
+                cores, addresses, writes, instrs = _chunk_arrays(*chunk)
+                length = len(cores)
+                offset = 0
+                while offset < length:
+                    if position < warmup:
+                        span = min(length - offset, warmup - position)
+                        access_batch(cores, addresses, writes, instrs, offset, offset + span)
+                        position += span
+                        offset += span
+                        _WARMUP_ACCESSES.add(span)
+                        continue
+                    if position == warmup:
+                        system.reset_stats()
+                    span = length - offset
+                    if span > until_sample:
+                        span = until_sample
+                    if until_timeline is not None and span > until_timeline:
+                        span = until_timeline
+                    if remaining is not None and span > remaining:
+                        span = remaining
                     access_batch(cores, addresses, writes, instrs, offset, offset + span)
                     position += span
                     offset += span
-                    _WARMUP_ACCESSES.add(span)
-                    continue
-                if position == warmup:
-                    system.reset_stats()
-                span = length - offset
-                if span > until_sample:
-                    span = until_sample
-                if until_timeline is not None and span > until_timeline:
-                    span = until_timeline
-                if remaining is not None and span > remaining:
-                    span = remaining
-                access_batch(cores, addresses, writes, instrs, offset, offset + span)
-                position += span
-                offset += span
-                measured += span
-                until_sample -= span
-                _MEASURED_ACCESSES.add(span)
-                if until_sample == 0:
-                    with _TRACER.span("occupancy_sampling"):
-                        timeline.record_occupancy(system.sample_occupancy())
-                    _OCC_SAMPLES.inc()
-                    until_sample = interval
-                if until_timeline is not None:
-                    until_timeline -= span
-                    if until_timeline == 0:
-                        with _TRACER.span("timeline_sampling"):
-                            timeline.sample(system)
-                        _TIMELINE_SAMPLES.inc()
-                        until_timeline = tl_interval
-                if remaining is not None:
-                    remaining -= span
-                    if remaining == 0:
-                        return self._build_result(measured, timeline)
+                    measured += span
+                    until_sample -= span
+                    _MEASURED_ACCESSES.add(span)
+                    if until_sample == 0:
+                        with _TRACER.span("occupancy_sampling"):
+                            timeline.record_occupancy(system.sample_occupancy())
+                        _OCC_SAMPLES.inc()
+                        until_sample = interval
+                    if until_timeline is not None:
+                        until_timeline -= span
+                        if until_timeline == 0:
+                            with _TRACER.span("timeline_sampling"):
+                                timeline.sample(system)
+                            _TIMELINE_SAMPLES.inc()
+                            until_timeline = tl_interval
+                    if remaining is not None:
+                        remaining -= span
+                        if remaining == 0:
+                            return self._build_result(measured, timeline)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
 
         return self._build_result(measured, timeline)
 

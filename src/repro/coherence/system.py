@@ -44,7 +44,7 @@ CoherenceState` enum appears only at the public cache API boundary.
 
 from __future__ import annotations
 
-from bisect import bisect_right
+from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -64,6 +64,7 @@ from repro.coherence.messages import (
     TrafficStats,
 )
 from repro.coherence.paging import PageMapper
+from repro.core.cuckoo_hash import _INDICES_CACHE_LIMIT
 from repro.directories.base import Directory, DirectoryStats, Invalidation, UpdateResult
 from repro.directories.sharers import FullBitVector
 from repro.obs.metrics import counter as _obs_counter
@@ -100,6 +101,50 @@ _BATCH_ROLLBACKS = _obs_counter(
     "sim.batch.rollbacks",
     help="kernel-retired hits rolled back and re-injected (hazards)",
 )
+# Drain-pipeline telemetry (DESIGN.md "The batched miss drain"): the
+# vector/scalar split plus the per-class retirement counts, all bumped
+# once per chunk from the drain's chunk-local accumulators.
+_DRAIN_VECTOR = _obs_counter(
+    "sim.drain.vector_resolved",
+    help="drained accesses resolved by the vectorized drain pipeline",
+)
+_DRAIN_SCALAR = _obs_counter(
+    "sim.drain.scalar_fallback",
+    help="drained accesses resolved by the scalar fallback drain",
+)
+_DRAIN_CLS_HITS = _obs_counter(
+    "sim.drain.class_hits",
+    help="drained accesses that were cache hits dragged in by conflicts",
+)
+_DRAIN_CLS_UPGRADES = _obs_counter(
+    "sim.drain.class_upgrades",
+    help="write-hit S/E->M upgrades resolved in the drain",
+)
+_DRAIN_CLS_READ_DIRHIT = _obs_counter(
+    "sim.drain.class_read_dirhit",
+    help="read misses that hit an existing directory entry",
+)
+_DRAIN_CLS_READ_INSERT = _obs_counter(
+    "sim.drain.class_read_insert",
+    help="read misses that allocated a fresh directory entry",
+)
+_DRAIN_CLS_WRITE_MISS = _obs_counter(
+    "sim.drain.class_write_miss",
+    help="write misses resolved in the drain",
+)
+_DRAIN_CLS_WALKS = _obs_counter(
+    "sim.drain.class_walks",
+    help="insertions that needed a displacement walk (scalar by design)",
+)
+_DRAIN_REINJECTED = _obs_counter(
+    "sim.drain.reinjected",
+    help="rolled-back kernel hits replayed through the drain",
+)
+
+#: Minimum drained-access count for the vectorized drain pipeline: below
+#: this the pre-pass (batch hashing, hop gathers, list materialisation)
+#: costs more than the scalar fallback's per-access overhead.
+_DRAIN_VECTOR_MIN = 16
 
 #: Default chunk-kernel selection for new :class:`TiledCMP` instances.
 #: ``auto`` engages the vectorised whole-chunk kernel whenever the flat
@@ -110,11 +155,25 @@ _BATCH_ROLLBACKS = _obs_counter(
 #: default without threading a parameter through every experiment helper.
 DEFAULT_BATCH_KERNEL = "auto"
 
+#: Default drain-pipeline selection, the drain-side analogue of
+#: ``DEFAULT_BATCH_KERNEL``: ``auto`` engages the vectorized drain
+#: pipeline whenever the directories support it (``_drain_vector_config``)
+#: and the chunk drains at least ``_DRAIN_VECTOR_MIN`` accesses;
+#: ``scalar`` forces the scalar fallback everywhere.  Read when the
+#: support decision is first resolved (one cached check per system), so
+#: flip it before the first drained chunk — ``bench_hot_path.py`` uses it
+#: to time the scalar drain against the pipeline on the same build.
+DEFAULT_DRAIN_PIPELINE = "auto"
+
 #: ``auto`` uses the vector kernel when ``total tracked frames <= ratio *
 #: chunk length``: the kernel's per-chunk snapshot of every tracked tag
 #: array is O(frames), so tiny chunks over huge caches (the Private-L2
 #: sweeps) would pay more building the snapshot than the scalar loop costs.
-_AUTO_SNAPSHOT_RATIO = 4
+#: The snapshot is a handful of numpy conversions (~35ns/frame) while the
+#: scalar loop costs several microseconds per access, so the break-even
+#: sits near two orders of magnitude; 64 keeps a safety margin for small
+#: chunks (the warm-up ramp) without letting sweep-sized caches through.
+_AUTO_SNAPSHOT_RATIO = 64
 
 # Hot-path message constants: hoisted enum members and their byte costs so
 # the inlined traffic recording does no enum attribute traversal.
@@ -220,6 +279,12 @@ class TiledCMP:
         self._core_of: List[int] = [
             self.core_of_cache(cache_id) for cache_id in range(num_tracked)
         ]
+        self._hop_matrix = np.asarray(self._hop_table, dtype=np.int64)
+        # Vectorized-drain support decision, resolved lazily on the first
+        # drained chunk (see _drain_vector_config): None = unresolved,
+        # False = unsupported, else the shared-or-per-slice hash family
+        # marker tuple.
+        self._drain_vector_support: object = None
         # Whole-chunk kernel selection (see DEFAULT_BATCH_KERNEL).  The
         # vector kernel needs inline-LRU recency in every cache it stamps;
         # a custom replacement policy silently drops back to the scalar
@@ -638,11 +703,23 @@ class TiledCMP:
             eligible = found & (~writes_a | (state_snap == STATE_MODIFIED))
             drain_mask = ~eligible
             if drain_mask.any() and eligible.any():
-                conflict_blocks = np.unique(blocks_a[drain_mask])
-                drain_mask |= np.isin(blocks_a, conflict_blocks)
+                # Membership via scatter/gather tables: both key spaces
+                # are dense integer ranges, so a boolean table beats the
+                # sort-based unique/isin pair.  Block ids are only
+                # bounded by the address space, so huge outliers fall
+                # back to isin.
+                max_block = int(blocks_a.max())
+                if max_block < (1 << 22):
+                    block_table = np.zeros(max_block + 1, dtype=bool)
+                    block_table[blocks_a[drain_mask]] = True
+                    drain_mask |= block_table[blocks_a]
+                else:
+                    conflict_blocks = np.unique(blocks_a[drain_mask])
+                    drain_mask |= np.isin(blocks_a, conflict_blocks)
                 set_keys = caches_a * num_sets + sets_a
-                conflicted_sets = np.unique(set_keys[drain_mask])
-                drain_mask |= np.isin(set_keys, conflicted_sets)
+                set_table = np.zeros(num_tracked * num_sets, dtype=bool)
+                set_table[set_keys[drain_mask]] = True
+                drain_mask |= set_table[set_keys]
 
             # Exact per-access stamps (phase 3 above), computed for the
             # whole chunk: group accesses by cache and rank within group.
@@ -692,17 +769,75 @@ class TiledCMP:
         drained = int(drain_idx.size)
         _BATCH_DRAINED.add(drained)
         if drained:
-            with _TRACER.span("miss_drain"):
-                self._drain_batch(
-                    drain_idx, blocks_a, locals_a, homes_a, caches_a,
-                    writes_a, sets_a, stamps_a, kernel_state,
-                )
+            # Drain pipeline selection: the vectorized drain needs the
+            # inlined-directory fast path (every slice a plain Cuckoo
+            # directory with full-bit-vector sharers) and enough drained
+            # accesses to amortise its pre-pass; anything else — sparse /
+            # stash / rich-sharer organizations, tiny drains — takes the
+            # scalar fallback.  Both emit their own span so --profile
+            # shows where drain time goes.
+            vector_config = (
+                self._drain_vector_config()
+                if drained >= _DRAIN_VECTOR_MIN
+                else None
+            )
+            if vector_config is not None:
+                with _TRACER.span("drain_vector"):
+                    self._drain_batch_vector(
+                        drain_idx, blocks_a, locals_a, homes_a, caches_a,
+                        writes_a, sets_a, stamps_a, kernel_state,
+                        vector_config,
+                    )
+            else:
+                with _TRACER.span("drain_scalar"):
+                    self._drain_batch(
+                        drain_idx, blocks_a, locals_a, homes_a, caches_a,
+                        writes_a, sets_a, stamps_a, kernel_state,
+                    )
         # Settle the per-cache clocks once for the whole chunk (stamps were
         # written as precomputed values, never via clock increments).
         counts_list = cache_counts.tolist()
         for cache_id in range(num_tracked):
             if counts_list[cache_id]:
                 tracked[cache_id].advance_clock(counts_list[cache_id])
+
+    def _drain_vector_config(self) -> Optional[tuple]:
+        """Support decision for the vectorized drain, resolved once.
+
+        Returns ``None`` when ``DEFAULT_DRAIN_PIPELINE`` is ``"scalar"``
+        or any slice lacks the inlined-directory drain handles
+        (non-cuckoo organizations, stash variants, rich sharer
+        encodings), else a one-element tuple holding the hash family
+        shared by every slice — or ``None`` inside the tuple when the
+        slices hash differently and the pre-pass must group by home.
+        The directories never change after construction, so the decision
+        is cached; the per-chunk state (stats objects, table arrays) is
+        re-fetched from ``drain_handles`` on every drained chunk.
+        """
+        support = self._drain_vector_support
+        if support is None:
+            support = False
+            supported = DEFAULT_DRAIN_PIPELINE != "scalar"
+            for directory in self._directories:
+                getter = getattr(directory, "drain_handles", None)
+                if getter is None or getter() is None:
+                    supported = False
+                    break
+            if supported:
+                families = [
+                    directory.table.hash_family
+                    for directory in self._directories
+                ]
+                keys = [family.batch_key() for family in families]
+                shared = (
+                    families[0]
+                    if keys[0] is not None
+                    and all(key == keys[0] for key in keys)
+                    else None
+                )
+                support = (shared,)
+            self._drain_vector_support = support
+        return support or None
 
     def _drain_batch(
         self,
@@ -744,6 +879,7 @@ class TiledCMP:
         # (the unique first element, so re-injection can bisect on it):
         # (pos, block, local, home, cache, write, set, stamp, reinjected).
         count = len(drain_idx)
+        _DRAIN_SCALAR.add(count)
         work = list(
             zip(
                 drain_idx.tolist(),
@@ -1410,6 +1546,886 @@ class TiledCMP:
         if rollback_total:
             _BATCH_ROLLBACKS.add(rollback_total)
 
+    def _drain_batch_vector(
+        self,
+        drain_idx: np.ndarray,
+        blocks_a: np.ndarray,
+        locals_a: np.ndarray,
+        homes_a: np.ndarray,
+        caches_a: np.ndarray,
+        writes_a: np.ndarray,
+        sets_a: np.ndarray,
+        stamps_a: np.ndarray,
+        kernel_state: Optional[Tuple[np.ndarray, ...]],
+        vector_config: tuple,
+    ) -> None:
+        """Vectorized drain pipeline (DESIGN.md "The batched miss drain").
+
+        Bit-identical to :meth:`_drain_batch`, restructured around a
+        numpy pre-pass so the per-access protocol loop touches no hash
+        function, no hop table, no bank model and almost no traffic or
+        statistics bookkeeping:
+
+        * **Batch hashing.**  Every drained block's slice-local address is
+          hashed across all directory ways in one vectorized call
+          (``HashFamily.batch_indices``) — one call for the whole chunk
+          when every slice shares a hash family, else one per home group.
+          The insert path then reads precomputed candidate rows instead
+          of probing the per-table indices cache.
+        * **All-miss accounting.**  Traffic (request + response hops,
+          message counts, bytes), per-home directory lookups and per-cache
+          miss counts are computed vectorized under the assumption that
+          every drained access misses — the common case by construction,
+          since the kernel only demotes conflicted hits.  The hit branch
+          then *corrects* the assumption (one subtraction per hit) instead
+          of every miss paying per-access accounting.
+        * **Bank decoupling.**  The shared-L2 bank model reads nothing
+          from the protocol and feeds nothing back into it, so bank
+          updates are recorded as ``(block, home, write)`` events in trace
+          order and replayed in a dedicated pass after the protocol loop.
+
+        Trace order is preserved throughout — conflicting accesses
+        (same block, same (cache, set), same directory slot) simply
+        execute in their original relative order, which makes the
+        reordering-safety argument trivial — and the rollback +
+        re-injection machinery for forced invalidations carries over
+        unchanged: re-injected accesses are rare by construction and
+        replay through the scalar ``process_one`` closure (full live
+        accounting, live hashing and hop lookups) at their exact trace
+        position.  Displacement walks, forced invalidations and write
+        upgrades with remote sharers stay on the scalar helper paths by
+        construction; stash variants and rich sharer encodings never
+        reach this method (:meth:`_drain_vector_config`).
+        """
+        (shared_family,) = vector_config
+        # Module-level protocol constants rebound as locals: the loop
+        # below reads them on every access, and LOAD_FAST beats the
+        # global lookup by enough to matter at this iteration count.
+        state_m = STATE_MODIFIED
+        state_e = STATE_EXCLUSIVE
+        state_s = STATE_SHARED
+        bitvec_cls = FullBitVector
+        putm_bytes = _PUT_MODIFIED_BYTES
+        puts_bytes = _PUT_SHARED_BYTES
+        inv_bytes = _INVALIDATE_BYTES
+        ack_bytes = _INV_ACK_BYTES
+        fwd_bytes = _FWD_GET_BYTES
+        getm_bytes = _GET_MODIFIED_BYTES
+        gets_bytes = _GET_SHARED_BYTES
+        data_bytes = _DATA_BYTES
+        tracked = self._tracked
+        num_tracked = len(tracked)
+        num_ways = tracked[0].num_ways
+        num_slices = self._num_slices
+        directories = self._directories
+        core_of = self._core_of
+        hop_table = self._hop_table
+        hop_rows = [hop_table[core] for core in core_of]
+        track = self._track_traffic
+        traffic = self._traffic
+        messages = traffic.messages
+        hops_acc = 0
+        bytes_acc = 0
+        locations = [cache._location for cache in tracked]
+        tags_of = [cache._tags for cache in tracked]
+        states_of = [cache._states for cache in tracked]
+        dirty_of = [cache._dirty for cache in tracked]
+        stamps_of = [cache._stamps for cache in tracked]
+        counts_of = [cache._set_counts for cache in tracked]
+        cache_arrs = list(
+            zip(locations, tags_of, states_of, dirty_of, stamps_of, counts_of)
+        )
+        locations_get = [location.get for location in locations]
+        hit_delta = [0] * num_tracked
+        evict_delta = [0] * num_tracked
+        dirty_evict_delta = [0] * num_tracked
+
+        banks = self._l2_banks
+        use_banks = banks is not None
+
+        num_homes = len(directories)
+        bundles = [directory.drain_handles() for directory in directories]
+        first_dir = directories[0]
+        dir_lookup_bits = first_dir._lookup_tag_bits
+        dir_payload_bits = first_dir._payload_bits
+        dir_entry_bits = first_dir._entry_bits
+        dir_caches = first_dir._num_caches
+        d_table = [b[0] for b in bundles]
+        d_loc = [b[1] for b in bundles]
+        d_keys = [b[2] for b in bundles]
+        d_val = [b[3] for b in bundles]
+        d_wo = [b[4] for b in bundles]
+        d_pool = [b[5] for b in bundles]
+        d_stats = [b[6] for b in bundles]
+        d_ic = [table._indices_cache for table in d_table]
+        ic_limit = _INDICES_CACHE_LIMIT
+        d_loc_get = [locator.get for locator in d_loc]
+        # Shadowed round-robin insertion cursor, written back at flush
+        # (resynced after a displacement walk, which rotates it inside
+        # the table).
+        d_sw = [table._start_way for table in d_table]
+        # Two counters are derived at flush instead of tracked in-loop:
+        # sharer additions equal lookup hits (every drain path that finds
+        # an entry adds a sharer bit), and the table-size delta equals
+        # vacant-slot inserts minus entry removals (walks maintain
+        # ``table._size`` themselves via ``insert_absent``).
+        a_lh = [0] * num_homes
+        a_i1 = [0] * num_homes
+        a_sr = [0] * num_homes
+        a_er = [0] * num_homes
+        a_io = [0] * num_homes
+        # Live traffic counters: only the unpredictable events (evictions,
+        # invalidations, owner downgrades) and re-injected accesses add to
+        # these in-loop; the all-miss baseline below covers the rest.
+        n_getS = n_getM = n_data = n_inv = n_ack = 0
+        n_putM = n_putS = n_fwd = 0
+        # Per-class retirement counters (sim.drain.*): in-branch for the
+        # cheap-to-count classes, derived at flush for the rest.
+        n_rdh = n_walk = n_reinj = 0
+        rh = cw = s_up = 0
+        hops_corr = 0
+        p1_hit = p1_up = p1_rm = p1_wm = 0
+
+        # -- vectorized pre-pass -------------------------------------------
+        count = int(drain_idx.size)
+        d_local_a = locals_a[drain_idx]
+        d_home_a = homes_a[drain_idx]
+        d_cache_a = caches_a[drain_idx]
+        d_write_a = writes_a[drain_idx]
+        d_sets_a = sets_a[drain_idx]
+        dp = drain_idx.tolist()
+        db = blocks_a[drain_idx].tolist()
+        dl = d_local_a.tolist()
+        dh = d_home_a.tolist()
+        dc = d_cache_a.tolist()
+        dw = d_write_a.tolist()
+        ds = d_sets_a.tolist()
+        dbase = (d_sets_a * num_ways).tolist()
+        dst = stamps_a[drain_idx].tolist()
+        # (1) Batch-hash the drained slice-local addresses across all ways.
+        if shared_family is not None:
+            cand_rows: List = shared_family.batch_indices(d_local_a)
+        else:
+            cand_rows = [None] * count
+            order = np.argsort(d_home_a, kind="stable")
+            sorted_homes = d_home_a[order]
+            boundaries = np.flatnonzero(np.diff(sorted_homes)) + 1
+            for group in np.split(order, boundaries):
+                home_g = int(d_home_a[group[0]])
+                rows = directories[home_g].table.hash_family.batch_indices(
+                    d_local_a[group]
+                )
+                for offset, member in enumerate(group.tolist()):
+                    cand_rows[member] = rows[offset]
+        # (2) Gather request/response hop counts for the whole chunk.
+        hop_matrix = self._hop_matrix
+        d_core_a = (d_cache_a >> 1) if self._l1_tracked else d_cache_a
+        h_req_a = hop_matrix[d_core_a, d_home_a]
+        h_rsp_a = hop_matrix[d_home_a, d_core_a]
+        # One fused request+response hop column: the hit corrections always
+        # need the sum; the lone S->M case recomputes its response hop.
+        h_sum = (h_req_a + h_rsp_a).tolist()
+        # (3) All-miss baselines, corrected per hit in the loop below.
+        writes_total = int(np.count_nonzero(d_write_a))
+        reads_total = count - writes_total
+        if track:
+            hops_base = int(h_req_a.sum()) + int(h_rsp_a.sum())
+        a_lk = np.bincount(d_home_a, minlength=num_homes).tolist()
+        miss_delta = np.bincount(d_cache_a, minlength=num_tracked).tolist()
+        # (4) Bank events accumulate per home in trace order for the replay
+        # pass — the banks are independent state machines, so each home's
+        # event list replays with its bank's arrays bound once.  Events are
+        # packed as ``block << 1 | is_write`` to keep the per-miss record a
+        # plain int instead of a tuple allocation.
+        if use_banks:
+            ev_by_home: List[List[int]] = [[] for _ in banks]
+            ev_app = [events.append for events in ev_by_home]
+
+        if kernel_state is not None:
+            (
+                kern_pos, kern_cache, kern_frame, kern_block, kern_set,
+                kern_write, kern_stamp, kern_old, kern_alive,
+            ) = kernel_state
+        else:
+            kern_alive = None
+        pos = 0
+        rollback_total = 0
+        pending: List[tuple] = []
+
+        def rollback(mask: np.ndarray) -> None:
+            # Undo retired kernel hits made stale by an unpredictable event
+            # and re-inject them (sorted by trace position) for replay.
+            nonlocal rollback_total
+            for j in np.flatnonzero(mask).tolist():
+                rollback_total += 1
+                kern_alive[j] = False
+                r_cache = int(kern_cache[j])
+                r_frame = int(kern_frame[j])
+                r_block = int(kern_block[j])
+                r_pos = int(kern_pos[j])
+                hit_delta[r_cache] -= 1
+                siblings = (
+                    kern_alive & (kern_cache == r_cache) & (kern_frame == r_frame)
+                )
+                if siblings.any():
+                    stamps_of[r_cache][r_frame] = int(kern_stamp[siblings].max())
+                else:
+                    family = np.flatnonzero(
+                        (kern_cache == r_cache) & (kern_frame == r_frame)
+                    )
+                    earliest = family[np.argmin(kern_pos[family])]
+                    stamps_of[r_cache][r_frame] = int(kern_old[earliest])
+                insort(
+                    pending,
+                    (
+                        r_pos,
+                        r_block,
+                        r_block // num_slices,
+                        r_block % num_slices,
+                        r_cache,
+                        bool(kern_write[j]),
+                        int(kern_set[j]),
+                        int(kern_stamp[j]),
+                    ),
+                )
+
+        record = self._record
+
+        def apply_forced(
+            invalidations: Sequence[Invalidation], victim_home: int
+        ) -> None:
+            for invalidation in invalidations:
+                victim_block = invalidation.address * num_slices + victim_home
+                for sharer in invalidation.caches:
+                    record(_INVALIDATE, victim_home, core_of[sharer])
+                    if kern_alive is not None:
+                        mask = (
+                            kern_alive
+                            & (kern_cache == sharer)
+                            & (kern_block == victim_block)
+                            & (kern_pos > pos)
+                        )
+                        if mask.any():
+                            rollback(mask)
+                    tracked[sharer].invalidate(victim_block)
+                    record(_INV_ACK, core_of[sharer], victim_home)
+
+        def insert_new(home: int, local_addr: int, mask: int, indices) -> None:
+            # Vacant-candidate placement with precomputed candidate rows
+            # (``indices`` is None only for re-injected accesses).
+            pool = d_pool[home]
+            if pool:
+                sharer_set = pool.pop()
+            else:
+                sharer_set = bitvec_cls(dir_caches)
+            sharer_set._mask = mask
+            if indices is None:
+                indices = d_ic[home].get(local_addr)
+                if indices is None:
+                    indices = d_table[home]._indices_of(local_addr)
+            else:
+                # Seed the table's per-key indices cache: a later
+                # displacement walk that evicts this key re-hashes it
+                # scalar unless the batch-computed row is cached.
+                ic = d_ic[home]
+                if len(ic) < ic_limit:
+                    ic[local_addr] = indices
+            keys_h = d_keys[home]
+            for way in d_wo[home][d_sw[home]]:
+                idx = indices[way]
+                if keys_h[way][idx] == -1:
+                    keys_h[way][idx] = local_addr
+                    d_val[home][way][idx] = sharer_set
+                    d_loc[home][local_addr] = (way, idx)
+                    d_sw[home] = way
+                    a_i1[home] += 1
+                    return
+            insert_walk(home, local_addr, sharer_set, indices)
+
+        def insert_walk(home: int, local_addr: int, sharer_set, indices) -> None:
+            # Displacement walk: insert_absent plus direct stats; resync
+            # the start-way shadow the walk rotated inside the table.
+            nonlocal n_walk
+            n_walk += 1
+            table = d_table[home]
+            table._start_way = d_sw[home]
+            result = table.insert_absent(local_addr, sharer_set, indices)
+            d_sw[home] = table._start_way
+            stats = d_stats[home]
+            attempts = result.attempts
+            stats.insertions += 1
+            stats.insertion_attempts += attempts
+            stats.attempt_histogram[attempts] += 1
+            stats.bits_written += attempts * dir_entry_bits
+            if result.evicted:
+                invalidation = Invalidation(
+                    address=result.evicted_key,
+                    caches=result.evicted_value.sharers(),
+                )
+                stats.forced_invalidations += 1
+                stats.forced_invalidation_messages += invalidation.num_messages
+                apply_forced((invalidation,), home)
+
+        def acquire_excl(
+            local_addr: int, home: int, block: int, cache_id: int,
+            reinjected: bool, indices,
+        ) -> None:
+            # Inlined CuckooDirectory.acquire_exclusive, *without* the
+            # lookup count: the all-miss baseline (or the re-injected
+            # caller) already accounts the lookup.
+            nonlocal hops_acc, bytes_acc, n_inv, n_ack
+            wbit = 1 << cache_id
+            loc = d_loc[home].get(local_addr)
+            if loc is None:
+                insert_new(home, local_addr, wbit, indices)
+                return
+            a_lh[home] += 1
+            way, idx = loc
+            sharer_set = d_val[home][way][idx]
+            prior = sharer_set._mask
+            others = prior & ~wbit
+            if not others:
+                sharer_set._mask = prior | wbit
+                return
+            sharer_set._mask = wbit
+            a_io[home] += 1
+            a_sr[home] += bin(others).count("1")
+            while others:
+                low = others & -others
+                others -= low
+                sharer = low.bit_length() - 1
+                if track:
+                    sharer_core = core_of[sharer]
+                    n_inv += 1
+                    hops_acc += hop_table[home][sharer_core]
+                    bytes_acc += inv_bytes
+                    n_ack += 1
+                    hops_acc += hop_table[sharer_core][home]
+                    bytes_acc += ack_bytes
+                if reinjected and kern_alive is not None:
+                    stale = (
+                        kern_alive
+                        & (kern_cache == sharer)
+                        & (kern_block == block)
+                        & (kern_pos > pos)
+                    )
+                    if stale.any():
+                        rollback(stale)
+                tracked[sharer].invalidate(block)
+
+        def process_one(entry: tuple) -> None:
+            # Scalar replay of one re-injected access (full live
+            # accounting — re-injections are outside the all-miss
+            # baselines), the exact protocol of _drain_batch.
+            nonlocal pos, hops_acc, bytes_acc, n_getS, n_getM, n_data
+            nonlocal n_fwd, n_putM, n_putS
+            nonlocal n_rdh, n_reinj, p1_hit, p1_up, p1_rm, p1_wm
+            n_reinj += 1
+            (
+                pos, block, local_addr, home, cache_id,
+                is_write, set_index, stamp,
+            ) = entry
+            location, tags, states, dirty, stamps, counts = cache_arrs[cache_id]
+            frame = location.get(block)
+            if frame is not None:
+                hit_delta[cache_id] += 1
+                stamps[frame] = stamp
+                if is_write:
+                    dirty[frame] = True
+                    state = states[frame]
+                    if state == state_m:
+                        p1_hit += 1
+                    elif state == state_e:
+                        p1_hit += 1
+                        states[frame] = state_m
+                    else:
+                        p1_up += 1
+                        if track:
+                            n_getM += 1
+                            hops_acc += hop_table[core_of[cache_id]][home]
+                            bytes_acc += getm_bytes
+                        a_lk[home] += 1
+                        acquire_excl(
+                            local_addr, home, block, cache_id, True, None
+                        )
+                        states[frame] = state_m
+                else:
+                    p1_hit += 1
+                return
+            miss_delta[cache_id] += 1
+            if use_banks:
+                ev_app[home](block << 1 | is_write)
+            core = core_of[cache_id]
+            hop_row = hop_table[core]
+            if is_write:
+                p1_wm += 1
+                if track:
+                    n_getM += 1
+                    hops_acc += hop_row[home]
+                    bytes_acc += getm_bytes
+                a_lk[home] += 1
+                acquire_excl(local_addr, home, block, cache_id, True, None)
+                new_state = state_m
+                fill_dirty = True
+            else:
+                p1_rm += 1
+                if track:
+                    n_getS += 1
+                    hops_acc += hop_row[home]
+                    bytes_acc += gets_bytes
+                a_lk[home] += 1
+                loc = d_loc[home].get(local_addr)
+                if loc is not None:
+                    n_rdh += 1
+                    a_lh[home] += 1
+                    way, idx = loc
+                    sharer_set = d_val[home][way][idx]
+                    prior = sharer_set._mask
+                    wbit = 1 << cache_id
+                    sharer_set._mask = prior | wbit
+                    remaining = prior & ~wbit
+                    while remaining:
+                        low = remaining & -remaining
+                        remaining -= low
+                        sharer = low.bit_length() - 1
+                        owner_frame = locations[sharer].get(block)
+                        if owner_frame is None:
+                            continue
+                        owner_states = states_of[sharer]
+                        owner_state = owner_states[owner_frame]
+                        if owner_state >= state_e:
+                            if track:
+                                sharer_core = core_of[sharer]
+                                n_fwd += 1
+                                hops_acc += hop_table[home][sharer_core]
+                                bytes_acc += fwd_bytes
+                                if owner_state == state_m:
+                                    n_putM += 1
+                                    hops_acc += hop_table[sharer_core][home]
+                                    bytes_acc += putm_bytes
+                            owner_states[owner_frame] = state_s
+                    new_state = state_s
+                else:
+                    insert_new(home, local_addr, 1 << cache_id, None)
+                    new_state = state_e
+                fill_dirty = False
+            if track:
+                n_data += 1
+                hops_acc += hop_table[home][core]
+                bytes_acc += data_bytes
+            if kern_alive is not None:
+                mask = (
+                    kern_alive
+                    & (kern_cache == cache_id)
+                    & (kern_set == set_index)
+                    & (kern_pos > pos)
+                )
+                if mask.any():
+                    rollback(mask)
+            base = set_index * num_ways
+            if counts[set_index] < num_ways:
+                frame = tags.index(-1, base, base + num_ways)
+                counts[set_index] += 1
+            else:
+                if num_ways == 2:
+                    frame = (
+                        base if stamps[base] <= stamps[base + 1] else base + 1
+                    )
+                else:
+                    row = stamps[base : base + num_ways]
+                    frame = base + row.index(min(row))
+                victim = tags[frame]
+                victim_dirty = dirty[frame]
+                evict_delta[cache_id] += 1
+                if victim_dirty:
+                    dirty_evict_delta[cache_id] += 1
+                del location[victim]
+                victim_home = victim % num_slices
+                if track:
+                    hops_acc += hop_row[victim_home]
+                    if victim_dirty:
+                        n_putM += 1
+                        bytes_acc += putm_bytes
+                    else:
+                        n_putS += 1
+                        bytes_acc += puts_bytes
+                victim_local = victim // num_slices
+                loc = d_loc_get[victim_home](victim_local)
+                if loc is not None:
+                    way, idx = loc
+                    sharer_set = d_val[victim_home][way][idx]
+                    remaining = sharer_set._mask & ~(1 << cache_id)
+                    sharer_set._mask = remaining
+                    a_sr[victim_home] += 1
+                    if not remaining:
+                        del d_loc[victim_home][victim_local]
+                        d_keys[victim_home][way][idx] = -1
+                        d_val[victim_home][way][idx] = None
+                        a_er[victim_home] += 1
+                        d_pool[victim_home].append(sharer_set)
+            tags[frame] = block
+            states[frame] = new_state
+            dirty[frame] = fill_dirty
+            stamps[frame] = stamp
+            location[block] = frame
+
+        # -- the protocol loop (trace order; re-injections spliced in) -----
+        # Direct unpacking in the for header keeps the result tuple's
+        # refcount at one so zip can recycle it instead of allocating a
+        # fresh 11-tuple per access.
+        for (
+            pos, block, local_addr, home, cache_id, is_write,
+            set_index, base, stamp, hsum, indices,
+        ) in zip(dp, db, dl, dh, dc, dw, ds, dbase, dst, h_sum, cand_rows):
+            if pending:
+                cur = pos
+                while pending and pending[0][0] < cur:
+                    process_one(pending.pop(0))
+                pos = cur
+            frame = locations_get[cache_id](block)
+            if frame is None:
+                # Miss (the common case): queue the bank event, run the
+                # directory protocol, fill inline.  Traffic and lookup
+                # counts are covered by the all-miss baseline.
+                if use_banks:
+                    ev_app[home](block << 1 | is_write)
+                if is_write:
+                    # Inlined acquire_excl (the two common cases: absent
+                    # entry with a vacant candidate, or already-present
+                    # sharer sets); conflicts fall back to the closure.
+                    wbit = 1 << cache_id
+                    loc = d_loc_get[home](local_addr)
+                    if loc is None:
+                        pool = d_pool[home]
+                        if pool:
+                            sharer_set = pool.pop()
+                        else:
+                            sharer_set = bitvec_cls(dir_caches)
+                        sharer_set._mask = wbit
+                        ic = d_ic[home]
+                        if len(ic) < ic_limit:
+                            ic[local_addr] = indices
+                        keys_h = d_keys[home]
+                        for way in d_wo[home][d_sw[home]]:
+                            idx = indices[way]
+                            if keys_h[way][idx] == -1:
+                                keys_h[way][idx] = local_addr
+                                d_val[home][way][idx] = sharer_set
+                                d_loc[home][local_addr] = (way, idx)
+                                d_sw[home] = way
+                                a_i1[home] += 1
+                                break
+                        else:
+                            insert_walk(home, local_addr, sharer_set, indices)
+                    else:
+                        a_lh[home] += 1
+                        way, idx = loc
+                        sharer_set = d_val[home][way][idx]
+                        prior = sharer_set._mask
+                        others = prior & ~wbit
+                        if not others:
+                            sharer_set._mask = prior | wbit
+                        else:
+                            sharer_set._mask = wbit
+                            a_io[home] += 1
+                            a_sr[home] += bin(others).count("1")
+                            while others:
+                                low = others & -others
+                                others -= low
+                                sharer = low.bit_length() - 1
+                                if track:
+                                    sharer_core = core_of[sharer]
+                                    n_inv += 1
+                                    hops_acc += hop_table[home][sharer_core]
+                                    bytes_acc += inv_bytes
+                                    n_ack += 1
+                                    hops_acc += hop_table[sharer_core][home]
+                                    bytes_acc += ack_bytes
+                                tracked[sharer].invalidate(block)
+                    new_state = state_m
+                    fill_dirty = True
+                else:
+                    loc = d_loc_get[home](local_addr)
+                    if loc is not None:
+                        # Directory hit: add the sharer bit, downgrade any
+                        # M/E owner among the prior sharers.
+                        n_rdh += 1
+                        a_lh[home] += 1
+                        way, idx = loc
+                        sharer_set = d_val[home][way][idx]
+                        prior = sharer_set._mask
+                        wbit = 1 << cache_id
+                        sharer_set._mask = prior | wbit
+                        remaining = prior & ~wbit
+                        # MESI invariant: an M/E owner holds the block
+                        # exclusively, so a downgrade is only possible
+                        # when exactly one prior sharer remains — the
+                        # multi-sharer scan would find only S copies.
+                        if remaining and not (remaining & (remaining - 1)):
+                            sharer = remaining.bit_length() - 1
+                            owner_frame = locations_get[sharer](block)
+                            if owner_frame is not None:
+                                owner_states = states_of[sharer]
+                                owner_state = owner_states[owner_frame]
+                                if owner_state >= state_e:
+                                    if track:
+                                        sharer_core = core_of[sharer]
+                                        n_fwd += 1
+                                        hops_acc += hop_table[home][sharer_core]
+                                        bytes_acc += fwd_bytes
+                                        if owner_state == state_m:
+                                            n_putM += 1
+                                            hops_acc += hop_table[sharer_core][home]
+                                            bytes_acc += putm_bytes
+                                    owner_states[owner_frame] = state_s
+                        new_state = state_s
+                    else:
+                        # Directory miss on a read: allocate the entry with
+                        # this cache as the sole (Exclusive) sharer, using
+                        # the pre-pass candidate row.
+                        pool = d_pool[home]
+                        if pool:
+                            sharer_set = pool.pop()
+                        else:
+                            sharer_set = bitvec_cls(dir_caches)
+                        sharer_set._mask = 1 << cache_id
+                        ic = d_ic[home]
+                        if len(ic) < ic_limit:
+                            ic[local_addr] = indices
+                        keys_h = d_keys[home]
+                        for way in d_wo[home][d_sw[home]]:
+                            idx = indices[way]
+                            if keys_h[way][idx] == -1:
+                                keys_h[way][idx] = local_addr
+                                d_val[home][way][idx] = sharer_set
+                                d_loc[home][local_addr] = (way, idx)
+                                d_sw[home] = way
+                                a_i1[home] += 1
+                                break
+                        else:
+                            insert_walk(home, local_addr, sharer_set, indices)
+                        new_state = state_e
+                    fill_dirty = False
+
+                # Inline fill: the exact-stamp twin of fill_miss_code.
+                location, tags, states, dirty, stamps, counts = cache_arrs[
+                    cache_id
+                ]
+                if counts[set_index] < num_ways:
+                    frame = tags.index(-1, base, base + num_ways)
+                    counts[set_index] += 1
+                else:
+                    if num_ways == 2:
+                        frame = (
+                            base
+                            if stamps[base] <= stamps[base + 1]
+                            else base + 1
+                        )
+                    else:
+                        row = stamps[base : base + num_ways]
+                        frame = base + row.index(min(row))
+                    victim = tags[frame]
+                    victim_dirty = dirty[frame]
+                    evict_delta[cache_id] += 1
+                    if victim_dirty:
+                        dirty_evict_delta[cache_id] += 1
+                    del location[victim]
+                    victim_home = victim % num_slices
+                    if track:
+                        hops_acc += hop_rows[cache_id][victim_home]
+                        if victim_dirty:
+                            n_putM += 1
+                            bytes_acc += putm_bytes
+                        else:
+                            n_putS += 1
+                            bytes_acc += puts_bytes
+                    # Inlined remove_sharer (evict notify).
+                    victim_local = victim // num_slices
+                    loc = d_loc_get[victim_home](victim_local)
+                    if loc is not None:
+                        way, idx = loc
+                        sharer_set = d_val[victim_home][way][idx]
+                        remaining = sharer_set._mask & ~(1 << cache_id)
+                        sharer_set._mask = remaining
+                        a_sr[victim_home] += 1
+                        if not remaining:
+                            del d_loc[victim_home][victim_local]
+                            d_keys[victim_home][way][idx] = -1
+                            d_val[victim_home][way][idx] = None
+                            a_er[victim_home] += 1
+                            d_pool[victim_home].append(sharer_set)
+                tags[frame] = block
+                states[frame] = new_state
+                dirty[frame] = fill_dirty
+                stamps[frame] = stamp
+                location[block] = frame
+                continue
+
+            # Hit (dragged in by a conflict): stamp recency, correct the
+            # all-miss baselines, run any write-upgrade protocol.
+            hit_delta[cache_id] += 1
+            miss_delta[cache_id] -= 1
+            stamps_of[cache_id][frame] = stamp
+            if is_write:
+                dirty_of[cache_id][frame] = True
+                states = states_of[cache_id]
+                state = states[frame]
+                if state == state_m:
+                    cw += 1
+                    a_lk[home] -= 1
+                    hops_corr += hsum
+                elif state == state_e:
+                    # Silent E -> M upgrade; no directory traffic.
+                    cw += 1
+                    a_lk[home] -= 1
+                    hops_corr += hsum
+                    states[frame] = state_m
+                else:
+                    # S -> M: GET_M is sent (the baseline request hop
+                    # stands) but no DATA comes back.
+                    s_up += 1
+                    hops_corr += hop_table[home][core_of[cache_id]]
+                    acquire_excl(
+                        local_addr, home, block, cache_id, False, indices
+                    )
+                    states[frame] = state_m
+            else:
+                rh += 1
+                a_lk[home] -= 1
+                hops_corr += hsum
+        while pending:
+            process_one(pending.pop(0))
+
+        # -- bank replay: the decoupled shared-L2 model, one independent
+        # pass per bank with its arrays bound once -------------------------
+        if use_banks:
+            bank_sets = banks[0].num_sets
+            bank_ways = banks[0].num_ways
+            for home, events in enumerate(ev_by_home):
+                if not events:
+                    continue
+                bank = banks[home]
+                b_location = bank._location
+                b_get = b_location.get
+                b_tags = bank._tags
+                b_states = bank._states
+                b_dirty = bank._dirty
+                b_stamps = bank._stamps
+                b_counts = bank._set_counts
+                b_clock = bank._clock
+                b_hits = b_misses = b_evicts = b_dirty_evicts = 0
+                for event in events:
+                    block = event >> 1
+                    b_clock += 1
+                    b_frame = b_get(block)
+                    if b_frame is not None:
+                        b_hits += 1
+                        b_stamps[b_frame] = b_clock
+                        if event & 1:
+                            b_dirty[b_frame] = True
+                        continue
+                    b_misses += 1
+                    b_set = block % bank_sets
+                    b_base = b_set * bank_ways
+                    if b_counts[b_set] < bank_ways:
+                        b_frame = b_tags.index(-1, b_base, b_base + bank_ways)
+                        b_counts[b_set] += 1
+                    else:
+                        b_row = b_stamps[b_base : b_base + bank_ways]
+                        b_frame = b_base + b_row.index(min(b_row))
+                        b_evicts += 1
+                        if b_dirty[b_frame]:
+                            b_dirty_evicts += 1
+                        del b_location[b_tags[b_frame]]
+                    b_tags[b_frame] = block
+                    b_states[b_frame] = state_s
+                    b_dirty[b_frame] = False
+                    b_stamps[b_frame] = b_clock
+                    b_location[block] = b_frame
+                bank._clock = b_clock
+                stats = bank._stats
+                stats.hits += b_hits
+                stats.misses += b_misses
+                stats.evictions += b_evicts
+                stats.dirty_evictions += b_dirty_evicts
+
+        # -- flush: baselines minus corrections, plus the live counters ----
+        for cache_id in range(num_tracked):
+            if hit_delta[cache_id] or miss_delta[cache_id] or evict_delta[cache_id]:
+                stats = tracked[cache_id]._stats
+                stats.hits += hit_delta[cache_id]
+                stats.misses += miss_delta[cache_id]
+                stats.evictions += evict_delta[cache_id]
+                stats.dirty_evictions += dirty_evict_delta[cache_id]
+        for home in range(num_homes):
+            table = d_table[home]
+            if table._start_way != d_sw[home]:
+                table._start_way = d_sw[home]
+            lk = a_lk[home]
+            sr = a_sr[home]
+            if lk or sr:
+                lh = a_lh[home]
+                er = a_er[home]
+                i1 = a_i1[home]
+                stats = d_stats[home]
+                stats.lookups += lk
+                stats.lookup_hits += lh
+                stats.lookup_misses += lk - lh
+                stats.sharer_additions += lh
+                stats.sharer_removals += sr
+                stats.entry_removals += er
+                stats.invalidate_all_operations += a_io[home]
+                stats.bits_read += (
+                    lk * dir_lookup_bits + lh * dir_payload_bits
+                )
+                stats.bits_written += (
+                    (lh + sr) * dir_payload_bits + i1 * dir_entry_bits
+                )
+                if i1:
+                    stats.insertions += i1
+                    stats.insertion_attempts += i1
+                    stats.attempt_histogram[1] += i1
+                if i1 != er:
+                    table._size += i1 - er
+        if track:
+            n_getS += reads_total - rh
+            n_getM += writes_total - cw
+            n_data += count - rh - cw - s_up
+            hops_acc += hops_base - hops_corr
+            bytes_acc += (
+                (reads_total - rh) * gets_bytes
+                + (writes_total - cw) * getm_bytes
+                + (count - rh - cw - s_up) * data_bytes
+            )
+            if n_getS:
+                messages[_GET_SHARED] += n_getS
+            if n_getM:
+                messages[_GET_MODIFIED] += n_getM
+            if n_data:
+                messages[_DATA] += n_data
+            if n_inv:
+                messages[_INVALIDATE] += n_inv
+            if n_ack:
+                messages[_INV_ACK] += n_ack
+            if n_putM:
+                messages[_PUT_MODIFIED] += n_putM
+            if n_putS:
+                messages[_PUT_SHARED] += n_putS
+            if n_fwd:
+                messages[_FWD_GET] += n_fwd
+            traffic.hops += hops_acc
+            traffic.bytes_transferred += bytes_acc
+        if rollback_total:
+            _BATCH_ROLLBACKS.add(rollback_total)
+        _DRAIN_VECTOR.add(count)
+        _DRAIN_CLS_HITS.add(rh + cw + p1_hit)
+        _DRAIN_CLS_UPGRADES.add(s_up + p1_up)
+        _DRAIN_CLS_READ_DIRHIT.add(n_rdh)
+        _DRAIN_CLS_READ_INSERT.add(reads_total - rh + p1_rm - n_rdh)
+        _DRAIN_CLS_WRITE_MISS.add(writes_total - cw - s_up + p1_wm)
+        _DRAIN_CLS_WALKS.add(n_walk)
+        if n_reinj:
+            _DRAIN_REINJECTED.add(n_reinj)
     def _access_block(
         self, block: int, local: int, home: int, cache_id: int, is_write: bool
     ) -> None:

@@ -240,14 +240,44 @@ def _scan_winners(
     )
     winners: Dict[str, Tuple[int, int, Tuple]] = {}
     ordinal = 0
-    for meta in manifest.segments:
+    # Segment indices are columnar already; the winner per key falls out
+    # of one lexsort over (key, ts, ordinal) — after sorting, each key's
+    # rows are contiguous in ascending commit order, so the last row of
+    # every key group is its winner.  Only the winning rows (distinct
+    # keys) round-trip through Python objects.
+    seg_keys: List[np.ndarray] = []
+    seg_ts: List[np.ndarray] = []
+    seg_pos: List[np.ndarray] = []
+    seg_rows: List[np.ndarray] = []
+    for position, meta in enumerate(manifest.segments):
         keys, ts_arr = read_segment_index(segdir, meta)
-        for row in range(len(keys)):
-            key = str(keys[row])
-            stamp = (int(ts_arr[row]), ordinal)
-            ordinal += 1
-            if key not in winners or stamp > winners[key][:2]:
-                winners[key] = (*stamp, ("seg", meta.name, row))
+        rows = len(keys)
+        if rows:
+            seg_keys.append(np.asarray(keys))
+            seg_ts.append(np.asarray(ts_arr, dtype=np.int64))
+            seg_pos.append(np.full(rows, position, dtype=np.int64))
+            seg_rows.append(np.arange(rows, dtype=np.int64))
+        ordinal += rows
+    if seg_keys:
+        all_keys = np.concatenate(seg_keys)
+        all_ts = np.concatenate(seg_ts)
+        all_pos = np.concatenate(seg_pos)
+        all_rows = np.concatenate(seg_rows)
+        # Global ordinal is the concatenation order (rows scan in
+        # manifest order), so ties in ts resolve to the later segment row
+        # exactly like the sequential scan did.
+        order = np.lexsort((np.arange(ordinal), all_ts, all_keys))
+        sorted_keys = all_keys[order]
+        group_last = np.empty(ordinal, dtype=bool)
+        group_last[:-1] = sorted_keys[1:] != sorted_keys[:-1]
+        group_last[-1] = True
+        names = [meta.name for meta in manifest.segments]
+        for winner in order[group_last].tolist():
+            winners[str(all_keys[winner])] = (
+                int(all_ts[winner]),
+                winner,
+                ("seg", names[all_pos[winner]], int(all_rows[winner])),
+            )
     for wal_path in _wal_paths(path):
         if not wal_path.exists():
             continue

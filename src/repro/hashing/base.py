@@ -106,6 +106,34 @@ class HashFamily(abc.ABC):
         functions = self.way_functions()
         return [tuple(fn(address) for fn in functions) for address in addresses]
 
+    def batch_indices_array(self, addresses):
+        """Candidate indices as a ``(num_ways, n)`` numpy int64 array.
+
+        Array-shaped twin of :meth:`batch_indices` for the batched miss
+        drain, which slices per-way columns instead of per-address tuples.
+        The generic implementation transposes :meth:`batch_indices`;
+        vectorized families override it to skip the tuple round-trip.
+        Returns ``None`` when numpy is unavailable.
+        """
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is baked in
+            return None
+        rows = self.batch_indices(addresses)
+        if not rows:
+            return np.empty((self._num_ways, 0), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64).T
+
+    def batch_key(self) -> object:
+        """Value-identity key: equal keys guarantee identical index functions.
+
+        Directory slices are constructed with one family instance each; the
+        batched drain hashes every drained address in a single call when all
+        slices' families report the same key.  ``None`` (the default) means
+        "unknown — never share".
+        """
+        return None
+
     def _check_way(self, way: int) -> None:
         if not 0 <= way < self._num_ways:
             raise IndexError(f"way {way} out of range [0, {self._num_ways})")

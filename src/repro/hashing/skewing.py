@@ -84,6 +84,9 @@ class SkewingHashFamily(HashFamily):
             raise ValueError("offset_bits must be non-negative")
         self._offset_bits = offset_bits
         self._sigma_tables = self._build_sigma_tables()
+        # Numpy copies of the sigma tables, built lazily on the first
+        # batch_indices_array call (only the batched drain needs them).
+        self._sigma_arrays = None
 
     def _build_sigma_tables(self) -> List[List[int]]:
         """``tables[p][v] == sigma^p(v)`` for every power any way uses."""
@@ -198,3 +201,34 @@ class SkewingHashFamily(HashFamily):
             for way in range(self._num_ways)
         ]
         return list(zip(*(column.tolist() for column in per_way)))
+
+    def batch_indices_array(self, addresses):
+        """Array twin of :meth:`batch_indices`: ``(num_ways, n)`` int64."""
+        bits = self.index_bits
+        if _np is None:
+            return None
+        if bits == 0 or not self._sigma_tables:
+            return super().batch_indices_array(addresses)
+        blocks = _np.asarray(addresses, dtype=_np.int64) >> self._offset_bits
+        mask = (1 << bits) - 1
+        field1 = blocks & mask
+        field2 = (blocks >> bits) & mask
+        field3 = (blocks >> (2 * bits)) & mask
+        tables = self._sigma_arrays
+        if tables is None:
+            tables = [
+                _np.asarray(table, dtype=_np.int64)
+                for table in self._sigma_tables
+            ]
+            self._sigma_arrays = tables
+        out = _np.empty((self._num_ways, blocks.size), dtype=_np.int64)
+        for way in range(self._num_ways):
+            _np.bitwise_xor(
+                tables[way][field1], tables[way // 2][field2], out=out[way]
+            )
+            out[way] ^= field3
+        return out
+
+    def batch_key(self) -> object:
+        """Skewing indices are fully determined by the geometry."""
+        return ("skew", self._num_ways, self._num_sets, self._offset_bits)

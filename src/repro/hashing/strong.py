@@ -129,6 +129,31 @@ class StrongHashFamily(HashFamily):
                 per_way.append((mixed % sets).tolist())
         return list(zip(*per_way))
 
+    def batch_indices_array(self, addresses):
+        """Array twin of :meth:`batch_indices`: ``(num_ways, n)`` int64."""
+        if _np is None:
+            return None
+        values = _np.asarray(addresses, dtype=_np.uint64)
+        sets = _np.uint64(self._num_sets)
+        mult1 = _np.uint64(_MIX_MULT_1)
+        mult2 = _np.uint64(_MIX_MULT_2)
+        s30, s27, s31 = _np.uint64(30), _np.uint64(27), _np.uint64(31)
+        out = _np.empty((self._num_ways, values.size), dtype=_np.int64)
+        with _np.errstate(over="ignore"):
+            for way, seed in enumerate(self._seeds):
+                mixed = values ^ _np.uint64(seed)
+                mixed = mixed ^ (mixed >> s30)
+                mixed = mixed * mult1
+                mixed = mixed ^ (mixed >> s27)
+                mixed = mixed * mult2
+                mixed = mixed ^ (mixed >> s31)
+                out[way] = (mixed % sets).astype(_np.int64)
+        return out
+
+    def batch_key(self) -> object:
+        """Strong indices are determined by the geometry plus the seeds."""
+        return ("strong", self._num_ways, self._num_sets, tuple(self._seeds))
+
 
 class Sha256HashFamily(HashFamily):
     """Reference family based on SHA-256 (slow; used only by tests)."""

@@ -55,7 +55,8 @@ class TestMetricsOut:
         assert counters["store.puts"] == 1
         # The batch front-end phase depends on which kernel ran: the
         # scalar loop traces "batch_kernel", the whole-chunk kernel
-        # traces "hit_kernel" (+ "miss_drain" when anything drains).
+        # traces "hit_kernel" (+ "drain_vector"/"drain_scalar" when
+        # anything drains).
         phases = document["phases"]
         assert "batch_kernel" in phases or "hit_kernel" in phases
         assert "translate" in phases

@@ -332,3 +332,114 @@ class TestCacheCli:
             ["cache", "import", str(tmp_path / "absent.jsonl"), "--store", store_path]
         ) == 2
         assert "no such file" in capsys.readouterr().err
+
+
+# -- winner scan equivalence --------------------------------------------------
+class TestScanWinnersEquivalence:
+    """The lexsort-based ``_scan_winners`` matches the sequential scan.
+
+    The reference below is the historical row-by-row implementation; the
+    production one reduces the segment portion to one numpy lexsort over
+    (key, ts, ordinal).  Both must pick identical winners — including the
+    winning (ts, ordinal) stamp and the exact (segment, row) locator —
+    for overlapping keys across many segments, WAL overrides and legacy
+    timestamp-less WAL lines.
+    """
+
+    @staticmethod
+    def _reference_scan(path):
+        from repro.engine.segment import read_segment_index
+        from repro.engine.store import (
+            _parse_wal_line,
+            _wal_paths,
+            load_manifest,
+            segments_dir,
+        )
+
+        segdir = segments_dir(path)
+        manifest = (
+            load_manifest(segdir)
+            if (segdir / MANIFEST_NAME).exists()
+            else None
+        )
+        winners = {}
+        ordinal = 0
+        if manifest is not None:
+            for meta in manifest.segments:
+                keys, ts_arr = read_segment_index(segdir, meta)
+                for row in range(len(keys)):
+                    key = str(keys[row])
+                    stamp = (int(ts_arr[row]), ordinal)
+                    ordinal += 1
+                    if key not in winners or stamp > winners[key][:2]:
+                        winners[key] = (*stamp, ("seg", meta.name, row))
+        for wal_path in _wal_paths(path):
+            if not wal_path.exists():
+                continue
+            offset = 0
+            with wal_path.open("rb") as handle:
+                for raw in handle:
+                    line_offset = offset
+                    offset += len(raw)
+                    parsed = _parse_wal_line(raw)
+                    if parsed is None:
+                        continue
+                    key, ts, _payload = parsed
+                    stamp = (ordinal if ts is None else ts, ordinal)
+                    ordinal += 1
+                    if key not in winners or stamp > winners[key][:2]:
+                        winners[key] = (*stamp, ("wal", wal_path, line_offset))
+        return winners
+
+    def _assert_equivalent(self, path):
+        from repro.engine.store import _scan_winners
+
+        _segdir, _manifest, winners = _scan_winners(path)
+        assert winners == self._reference_scan(path)
+        return winners
+
+    def test_overlapping_keys_across_many_segments(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        # Three sealed generations re-writing overlapping key subsets.
+        for generation in range(3):
+            for seed in range(4):
+                if (seed + generation) % 2 == 0:
+                    store.put(_result(_spec(seed=seed), accesses=generation + 1))
+            store.seal()
+        winners = self._assert_equivalent(path)
+        assert len(load_manifest(segments_dir(path)).segments) == 3
+        assert all(locator[0] == "seg" for _, _, locator in winners.values())
+
+    def test_wal_overrides_and_fresh_keys(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        for seed in range(3):
+            store.put(_result(_spec(seed=seed), accesses=1))
+        store.seal()
+        store.put(_result(_spec(seed=1), accesses=2))  # supersedes a sealed row
+        store.put(_result(_spec(seed=9), accesses=1))  # WAL-only key
+        winners = self._assert_equivalent(path)
+        kinds = {locator[0] for _, _, locator in winners.values()}
+        assert kinds == {"seg", "wal"}
+
+    def test_legacy_timestampless_wal_lines_order_by_position(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        store = ResultStore(path)
+        store.put(_result(_spec(seed=0), accesses=1))
+        store.seal()
+        # Legacy pre-engine lines: no ``ts`` field at all.  Scan position
+        # substitutes for the stamp, so the later line must win.
+        legacy_new = _result(_spec(seed=0), accesses=7).to_dict()
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps({"key": _spec(seed=0).key(),
+                                     "result": legacy_new}) + "\n")
+        self._assert_equivalent(path)
+
+    def test_empty_and_wal_only_stores(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        ResultStore(path)  # creates nothing until a put
+        self._assert_equivalent(path)
+        store = ResultStore(path)
+        store.put(_result(_spec(seed=3)))
+        self._assert_equivalent(path)
